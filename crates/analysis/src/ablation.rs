@@ -1,0 +1,225 @@
+//! Ablations of the blacklisting design choices (§3 of the paper).
+//!
+//! The paper makes several specific engineering claims about the
+//! blacklist; each is isolated here:
+//!
+//! * **Backend** — "a bit array, indexed by page numbers", or for
+//!   discontinuous heaps "a hash table with one bit per entry. … Since
+//!   collisions can easily be made rare, this does not result in much
+//!   lost precision." The ablation sweeps hash-table sizes.
+//! * **Aging** — "blacklisted values that are no longer found by a later
+//!   collection may be removed from the list."
+//! * **Atomic exemption** — blacklisted pages may hold small pointer-free
+//!   objects, so "the loss is usually zero" (observation 6).
+//! * **Vicinity window** — how far beyond the current break invalid
+//!   candidates "could conceivably become valid object addresses as a
+//!   result of later allocation".
+
+use crate::table1::shape_for;
+use crate::TextTable;
+use gc_core::BlacklistKind;
+use gc_heap::ObjectKind;
+use gc_platforms::{BuildOptions, Platform, Profile};
+use std::fmt;
+
+/// One ablation configuration and its measured outcome.
+#[derive(Clone, Debug)]
+pub struct AblationReport {
+    /// Human-readable configuration label.
+    pub label: String,
+    /// Lists retained (Program T metric).
+    pub retained: u32,
+    /// Total lists.
+    pub lists: u32,
+    /// Blacklist size at the end (pages or table bits).
+    pub blacklist_size: u32,
+    /// Heap pages mapped at the end (space cost of avoidance).
+    pub mapped_pages: u32,
+}
+
+impl fmt::Display for AblationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} retained, blacklist {}, {} pages mapped",
+            self.label, self.retained, self.lists, self.blacklist_size, self.mapped_pages
+        )
+    }
+}
+
+fn run_program_t(
+    profile: &Profile,
+    seed: u64,
+    scale: u32,
+    label: &str,
+    tweak: impl FnOnce(&mut gc_core::GcConfig),
+) -> AblationReport {
+    let shape = shape_for(profile, scale);
+    let mut platform = profile.build_custom(
+        BuildOptions { seed, ..BuildOptions::default() },
+        tweak,
+    );
+    let Platform { machine, hooks, .. } = &mut platform;
+    let report = shape.run(machine, &mut |m| hooks.tick(m));
+    AblationReport {
+        label: label.to_owned(),
+        retained: report.retained,
+        lists: report.lists,
+        blacklist_size: machine.gc().blacklist().len(),
+        mapped_pages: (report.heap_mapped_bytes / 4096) as u32,
+    }
+}
+
+/// Sweeps blacklist backends: exact bitmap vs. hashed one-bit tables of
+/// decreasing size (more collisions ⇒ more over-blacklisting, never less
+/// safety).
+pub fn backend_sweep(seed: u64, scale: u32) -> Vec<AblationReport> {
+    let profile = Profile::sparc_static(false);
+    let mut out = Vec::new();
+    out.push(run_program_t(&profile, seed, scale, "exact per-page table", |_| {}));
+    for bits in [18u8, 14, 10, 8] {
+        out.push(run_program_t(
+            &profile,
+            seed,
+            scale,
+            &format!("hashed, 2^{bits} bits"),
+            move |gc| gc.blacklist_kind = BlacklistKind::Hashed { bits },
+        ));
+    }
+    out
+}
+
+/// Sweeps blacklist aging TTLs (collections an unconfirmed entry
+/// survives).
+pub fn ttl_sweep(seed: u64, scale: u32) -> Vec<AblationReport> {
+    let profile = Profile::sparc_static(false);
+    [0u32, 1, 2, 1_000_000]
+        .into_iter()
+        .map(|ttl| {
+            run_program_t(&profile, seed, scale, &format!("ttl {ttl}"), move |gc| {
+                gc.blacklist_ttl = ttl
+            })
+        })
+        .collect()
+}
+
+/// Sweeps the vicinity growth window (pages beyond the current break that
+/// are considered "could become valid").
+pub fn window_sweep(seed: u64, scale: u32) -> Vec<AblationReport> {
+    let profile = Profile::sparc_static(false);
+    [0u32, 256, 2048, 8192]
+        .into_iter()
+        .map(|pages| {
+            run_program_t(
+                &profile,
+                seed,
+                scale,
+                &format!("growth window {} MB", pages / 256),
+                move |gc| gc.growth_window_pages = pages,
+            )
+        })
+        .collect()
+}
+
+/// Measures observation 6: with enough small pointer-free allocation,
+/// blacklisted pages still get used and "the loss is usually zero".
+///
+/// Returns (pages mapped with the exemption, pages mapped without) for a
+/// workload that mixes composite cells with small atomic objects on a
+/// heavily blacklisted image.
+pub fn atomic_exemption(seed: u64) -> (u32, u32) {
+    let run = |allow: bool| -> u32 {
+        let profile = Profile::sparc_static(false);
+        let mut platform = profile.build_custom(
+            BuildOptions { seed, ..BuildOptions::default() },
+            |gc| gc.allow_atomic_on_blacklist = allow,
+        );
+        let m = &mut platform.machine;
+        m.gc_mut().start();
+        // A PCedar-like mix: half composite cells, half small atomic
+        // objects (strings, numbers), all kept live through a chain.
+        let root = m.alloc_static(1);
+        for i in 0..60_000u32 {
+            let cell = m.alloc(8, ObjectKind::Composite).expect("heap has room");
+            let prev = m.load(root);
+            m.store(cell, prev);
+            m.store(root, cell.raw());
+            if i % 2 == 0 {
+                let atom = m.alloc(12, ObjectKind::Atomic).expect("heap has room");
+                m.store(cell + 4, atom.raw());
+            }
+        }
+        m.gc().heap().stats().mapped_pages
+    };
+    (run(true), run(false))
+}
+
+/// Renders ablation reports as a table.
+pub fn table(reports: &[AblationReport]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Configuration".into(),
+        "Retained".into(),
+        "Blacklist size".into(),
+        "Heap pages".into(),
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.label.clone(),
+            format!("{}/{}", r.retained, r.lists),
+            r.blacklist_size.to_string(),
+            r.mapped_pages.to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashed_backends_over_blacklist_but_stay_effective() {
+        let reports = backend_sweep(3, 10);
+        let exact = &reports[0];
+        for hashed in &reports[1..] {
+            assert!(
+                hashed.retained <= exact.retained + 1,
+                "hashing may only over-blacklist: {hashed} vs {exact}"
+            );
+        }
+        // A tiny table (2^8 bits) collides often and maps more heap.
+        let tiny = reports.last().expect("nonempty");
+        assert!(
+            tiny.mapped_pages >= exact.mapped_pages,
+            "collisions cost space, not correctness: {tiny} vs {exact}"
+        );
+    }
+
+    #[test]
+    fn zero_window_defeats_startup_blacklisting() {
+        let reports = window_sweep(3, 10);
+        let zero = &reports[0];
+        let wide = reports.last().expect("nonempty");
+        assert!(
+            zero.retained > wide.retained,
+            "without a growth window, startup junk is not blacklisted: {zero} vs {wide}"
+        );
+    }
+
+    #[test]
+    fn atomic_exemption_saves_pages() {
+        let (with, without) = atomic_exemption(3);
+        assert!(
+            with <= without,
+            "the exemption can only reduce the footprint: {with} vs {without}"
+        );
+    }
+
+    #[test]
+    fn ttl_sweep_runs() {
+        let reports = ttl_sweep(3, 20);
+        assert_eq!(reports.len(), 4);
+        // An infinite TTL accumulates at least as many entries as ttl 0.
+        assert!(reports[3].blacklist_size >= reports[0].blacklist_size);
+    }
+}

@@ -1,0 +1,271 @@
+//! Degrees of conservativism (paper introduction).
+//!
+//! "These \[implementations\] vary greatly in their degree of conservativism
+//! … Some maintain complete information on the location of pointers in the
+//! heap, and only scan the stack conservatively. Others also treat the
+//! heap conservatively."
+//!
+//! The experiment fills the heap with records whose payload words hold
+//! random 32-bit values (hash codes), alongside a population of dropped
+//! victim lists. Under fully conservative heap scanning the payloads
+//! misidentify as pointers and pin victims; declaring the layout — either
+//! by splitting the payload into pointer-free *atomic* objects (§2's
+//! advice) or with an exact *typed* descriptor — eliminates the
+//! misidentification entirely. Blacklisting cannot help here: the payloads
+//! are written after the victims' pages are already allocated.
+
+use crate::TextTable;
+use gc_core::{Collector, GcConfig};
+use gc_heap::{Descriptor, HeapConfig, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// How much layout information the collector has about the records.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum HeapDiscipline {
+    /// Records are plain composite objects: every word scanned
+    /// conservatively (Boehm-Weiser, SRC Modula-3, Sather style).
+    FullyConservative,
+    /// Payload lives in separate pointer-free atomic objects (§2:
+    /// "communicate to the collector … that an entire large object
+    /// contains no pointers").
+    AtomicPayload,
+    /// Records carry exact descriptors: only the link word is scanned
+    /// (Scheme→C / Cedar / KCL style: exact heap, conservative roots).
+    TypedRecords,
+}
+
+impl fmt::Display for HeapDiscipline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HeapDiscipline::FullyConservative => "fully conservative heap",
+            HeapDiscipline::AtomicPayload => "atomic (pointer-free) payload",
+            HeapDiscipline::TypedRecords => "typed records (exact heap)",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Shape of the experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct ConservativismRun {
+    /// Dropped victim lists.
+    pub victim_lists: u32,
+    /// Cells per victim list.
+    pub victim_cells: u32,
+    /// Live records whose payloads may misidentify.
+    pub records: u32,
+    /// Random payload words per record.
+    pub payload_words: u32,
+}
+
+impl Default for ConservativismRun {
+    fn default() -> Self {
+        ConservativismRun {
+            victim_lists: 100,
+            victim_cells: 2_000,
+            records: 4_000,
+            payload_words: 3,
+        }
+    }
+}
+
+/// Measured outcome for one discipline.
+#[derive(Clone, Copy, Debug)]
+pub struct ConservativismReport {
+    /// Discipline measured.
+    pub discipline: HeapDiscipline,
+    /// Victim lists retained by payload misidentification.
+    pub victims_retained: u32,
+    /// Victim lists allocated.
+    pub victim_lists: u32,
+    /// Heap words examined by the final collection.
+    pub heap_words_scanned: u64,
+}
+
+/// Runs the experiment under one discipline.
+pub fn run(config: &ConservativismRun, discipline: HeapDiscipline, seed: u64) -> ConservativismReport {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut space = AddressSpace::new(Endian::Big);
+    space
+        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .expect("maps");
+    let mut gc = Collector::new(
+        space,
+        GcConfig {
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                max_heap_bytes: 128 << 20,
+                growth_pages: 64,
+                ..HeapConfig::default()
+            },
+            min_bytes_between_gcs: u64::MAX, // collections under harness control
+            ..GcConfig::default()
+        },
+    );
+    let record_words = 1 + config.payload_words;
+    let typed_desc = gc.register_descriptor(Descriptor::with_pointers_at(record_words, &[0]));
+
+    // 1. Victim lists, each rooted in a static slot for now.
+    let roots = Addr::new(0x1_0000);
+    for i in 0..config.victim_lists {
+        // Circular lists, like Program T: any interior hit pins the whole
+        // list, including the finalized representative.
+        let mut head = 0u32;
+        let mut first = 0u32;
+        for _ in 0..config.victim_cells {
+            let cell = gc.alloc(8, ObjectKind::Composite).expect("heap has room");
+            gc.space_mut().write_u32(cell, head).expect("mapped");
+            if first == 0 {
+                first = cell.raw();
+            }
+            head = cell.raw();
+            gc.space_mut().write_u32(roots + i * 4, head).expect("mapped");
+        }
+        gc.space_mut().write_u32(Addr::new(first), head).expect("mapped");
+        gc.register_finalizer(Addr::new(head), u64::from(i)).expect("live");
+    }
+    let heap_hi = gc.heap().hi().raw();
+    let heap_lo = gc.heap().lo().expect("heap grew").raw();
+
+    // 2. Live records with random "hash" payloads drawn over the occupied
+    //    heap range (worst case for conservative scanning).
+    let chain_slot = roots + config.victim_lists * 4;
+    for _ in 0..config.records {
+        let prev = gc.space().read_u32(chain_slot).expect("mapped");
+        let (rec, payload_base) = match discipline {
+            HeapDiscipline::FullyConservative => {
+                let rec = gc.alloc(record_words * 4, ObjectKind::Composite).expect("room");
+                (rec, rec + 4)
+            }
+            HeapDiscipline::TypedRecords => {
+                let rec = gc.alloc_typed(record_words * 4, typed_desc).expect("room");
+                (rec, rec + 4)
+            }
+            HeapDiscipline::AtomicPayload => {
+                // Record = [next, blob*]; blob is atomic. The record's own
+                // words are conservatively scanned, but the payload data
+                // lives where it cannot be misread.
+                let blob =
+                    gc.alloc(config.payload_words * 4, ObjectKind::Atomic).expect("room");
+                let rec = gc.alloc(8, ObjectKind::Composite).expect("room");
+                gc.space_mut().write_u32(rec + 4, blob.raw()).expect("mapped");
+                (rec, blob)
+            }
+        };
+        gc.space_mut().write_u32(rec, prev).expect("mapped");
+        gc.space_mut().write_u32(chain_slot, rec.raw()).expect("mapped");
+        for w in 0..config.payload_words {
+            let hash = rng.random_range(heap_lo..heap_hi);
+            gc.space_mut().write_u32(payload_base + w * 4, hash).expect("mapped");
+        }
+    }
+
+    // 3. Drop the victims; the records stay live.
+    for i in 0..config.victim_lists {
+        gc.space_mut().write_u32(roots + i * 4, 0).expect("mapped");
+    }
+    let mut reclaimed = vec![false; config.victim_lists as usize];
+    let mut scanned = 0;
+    for _ in 0..3 {
+        let stats = gc.collect();
+        scanned = stats.heap_words_scanned;
+        for (_, token) in gc.drain_finalized() {
+            reclaimed[token as usize] = true;
+        }
+    }
+    ConservativismReport {
+        discipline,
+        victims_retained: reclaimed.iter().filter(|&&r| !r).count() as u32,
+        victim_lists: config.victim_lists,
+        heap_words_scanned: scanned,
+    }
+}
+
+/// Runs all three disciplines.
+pub fn compare(config: &ConservativismRun, seed: u64) -> Vec<ConservativismReport> {
+    [
+        HeapDiscipline::FullyConservative,
+        HeapDiscipline::AtomicPayload,
+        HeapDiscipline::TypedRecords,
+    ]
+    .into_iter()
+    .map(|d| run(config, d, seed))
+    .collect()
+}
+
+/// Renders the comparison table.
+pub fn comparison_table(reports: &[ConservativismReport]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Heap discipline".into(),
+        "Victims retained".into(),
+        "Heap words scanned / GC".into(),
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.discipline.to_string(),
+            format!("{}/{}", r.victims_retained, r.victim_lists),
+            r.heap_words_scanned.to_string(),
+        ]);
+    }
+    t
+}
+
+impl fmt::Display for ConservativismReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} victims retained ({} heap words scanned)",
+            self.discipline, self.victims_retained, self.victim_lists, self.heap_words_scanned
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ConservativismRun {
+        ConservativismRun {
+            victim_lists: 30,
+            victim_cells: 400,
+            records: 800,
+            payload_words: 3,
+        }
+    }
+
+    #[test]
+    fn conservative_heap_misidentifies_payloads() {
+        let r = run(&small(), HeapDiscipline::FullyConservative, 7);
+        assert!(
+            r.victims_retained > 10,
+            "random payloads over the heap range pin many victims: {r}"
+        );
+    }
+
+    #[test]
+    fn typed_records_eliminate_misidentification() {
+        let r = run(&small(), HeapDiscipline::TypedRecords, 7);
+        assert_eq!(r.victims_retained, 0, "exact layout: {r}");
+    }
+
+    #[test]
+    fn atomic_payload_eliminates_misidentification() {
+        let r = run(&small(), HeapDiscipline::AtomicPayload, 7);
+        assert_eq!(r.victims_retained, 0, "pointer-free payload: {r}");
+    }
+
+    #[test]
+    fn typed_scanning_is_cheaper() {
+        let cons = run(&small(), HeapDiscipline::FullyConservative, 7);
+        let typed = run(&small(), HeapDiscipline::TypedRecords, 7);
+        assert!(
+            typed.heap_words_scanned < cons.heap_words_scanned,
+            "typed {} !< conservative {}",
+            typed.heap_words_scanned,
+            cons.heap_words_scanned
+        );
+    }
+}

@@ -1,0 +1,147 @@
+//! Footnote 4's exact-pointer oracle: two copies offset by *n*.
+//!
+//! "More accurate techniques are possible at substantial performance cost,
+//! even for unmodified C code. For example, under suitable conditions, we
+//! could run two copies of the same program with heap starting addresses
+//! that differ by n. Any two corresponding locations whose values do not
+//! differ by n are then known not to be pointers."
+//!
+//! The experiment runs Program T twice on identical images whose heaps are
+//! offset by `delta`, compares the final root snapshots word by word,
+//! zeroes every heap-range root word that the oracle proves to be a
+//! non-pointer, and re-collects: the difference in retention is exactly the
+//! misidentification the oracle eliminates.
+
+use gc_platforms::{BuildOptions, Platform, Profile};
+use std::fmt;
+
+/// Results of the dual-heap oracle experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct DualHeapReport {
+    /// Lists retained by the plain conservative run.
+    pub retained_conservative: u32,
+    /// Lists retained after the oracle filtered provable non-pointers.
+    pub retained_oracle: u32,
+    /// Total lists.
+    pub lists: u32,
+    /// Root words the oracle proved to be non-pointers (and zeroed).
+    pub words_filtered: u64,
+}
+
+/// Runs the oracle experiment on the given profile (blacklisting off, so
+/// the oracle's effect is visible) at scale `scale`.
+///
+/// # Panics
+///
+/// Panics if the two runs diverge structurally (they cannot: identical
+/// seeds and programs).
+pub fn run(profile: &Profile, delta: u32, seed: u64, scale: u32) -> DualHeapReport {
+    let shape = crate::table1::shape_for(profile, scale);
+    let build = |heap_base_offset: u32| -> (Platform, u32) {
+        let mut p = profile.clone();
+        p.heap_base = p.heap_base + heap_base_offset;
+        let mut platform = p.build(BuildOptions {
+            seed,
+            blacklisting: false,
+            ..BuildOptions::default()
+        });
+        let Platform { machine, hooks, .. } = &mut platform;
+        let report = shape.run(machine, &mut |m| hooks.tick(m));
+        (platform, report.retained)
+    };
+    let (mut run_a, retained_conservative) = build(0);
+    let (run_b, _) = build(delta);
+
+    // Compare corresponding root words; zero provable non-pointers in A.
+    let lo = run_a.machine.gc().heap().lo().map(|a| a.raw()).unwrap_or(0);
+    let hi = run_a.machine.gc().heap().hi().raw();
+    let mut filtered: Vec<gc_vmspace::Addr> = Vec::new();
+    {
+        let space_a = run_a.machine.gc().space();
+        let space_b = run_b.machine.gc().space();
+        for seg_a in space_a.roots() {
+            let Some(seg_b) = space_b.find(seg_a.base()) else { continue };
+            if seg_b.base() != seg_a.base() || seg_b.len() != seg_a.len() {
+                continue;
+            }
+            let (start, end) = seg_a.scan_range();
+            let mut off = 0u32;
+            while u64::from(start.raw()) + u64::from(off) + 4 <= end {
+                let addr = start + off;
+                let va = space_a.read_u32(addr).expect("root word mapped");
+                if va >= lo && va < hi {
+                    let vb = space_b.read_u32(addr).expect("mirror root word mapped");
+                    // A true pointer in A corresponds to va + delta in B.
+                    if vb != va.wrapping_add(delta) {
+                        filtered.push(addr);
+                    }
+                }
+                off += 4;
+            }
+        }
+    }
+    let words_filtered = filtered.len() as u64;
+    for addr in filtered {
+        run_a.machine.store(addr, 0);
+    }
+    run_a.machine.collect();
+    let mut retained_oracle = 0u32;
+    for (_, _token) in run_a.machine.gc_mut().drain_finalized() {
+        // Newly reclaimed after filtering.
+    }
+    // Count what is *still* registered (never finalized) after filtering:
+    // those lists remain retained even with exact knowledge of roots.
+    retained_oracle += run_a.machine.gc().finalizers_registered() as u32;
+
+    DualHeapReport {
+        retained_conservative,
+        retained_oracle,
+        lists: shape.lists,
+        words_filtered,
+    }
+}
+
+impl fmt::Display for DualHeapReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "conservative: {}/{} lists retained; dual-heap oracle: {}/{} ({} root words proved non-pointers)",
+            self.retained_conservative,
+            self.lists,
+            self.retained_oracle,
+            self.lists,
+            self.words_filtered
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_eliminates_static_junk_retention() {
+        let profile = Profile::sparc_static(false);
+        let r = run(&profile, 64 << 10, 6, 10);
+        assert!(
+            r.retained_conservative > 0,
+            "baseline retains something: {r}"
+        );
+        assert!(
+            r.retained_oracle <= r.retained_conservative,
+            "the oracle can only help: {r}"
+        );
+        assert!(r.words_filtered > 0, "junk words were identified: {r}");
+    }
+
+    #[test]
+    fn oracle_preserves_real_pointers() {
+        // On a clean image nothing is misidentified and nothing should be
+        // filtered away wrongly: retention stays zero and no live data is
+        // damaged (the workload itself verifies structure while running).
+        let profile = Profile::synthetic();
+        let r = run(&profile, 32 << 10, 2, 20);
+        assert_eq!(r.retained_conservative, 0);
+        assert_eq!(r.retained_oracle, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! The generational ceiling (§3.1, last paragraph).
+//!
+//! "In the Cedar environment, we also observed that stray stack pointers
+//! can significantly lengthen the lifetime of some objects, thus placing a
+//! ceiling on the effectiveness of generational collection (cf. \[20, 8\])."
+//!
+//! With sticky-mark-bit generational collection (the PCR design, \[12\]), a
+//! young object pinned by a stray stack pointer at any minor collection is
+//! *promoted*; the tenured garbage then survives every later minor
+//! collection and is only reclaimed by a full one. The experiment churns
+//! transient objects through stack frames and measures how much garbage
+//! each stack-hygiene regime tenures.
+
+use crate::TextTable;
+use gc_core::GcConfig;
+use gc_heap::{HeapConfig, ObjectKind};
+use gc_machine::{FramePolicy, Machine, MachineConfig, StackClearing};
+use gc_vmspace::{Addr, Endian};
+use std::fmt;
+
+/// Shape of the churn workload.
+#[derive(Clone, Copy, Debug)]
+pub struct GenerationalRun {
+    /// Transient chains allocated (each dropped immediately).
+    pub iterations: u32,
+    /// Cons cells per chain.
+    pub chain_len: u32,
+}
+
+impl Default for GenerationalRun {
+    fn default() -> Self {
+        GenerationalRun { iterations: 4_000, chain_len: 24 }
+    }
+}
+
+/// Stack-hygiene regime under test.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Hygiene {
+    /// Sloppy allocator/collector, no stack clearing: stray pointers
+    /// abound (the Cedar situation).
+    Sloppy,
+    /// Sloppy, but with §3.1's periodic stack clearing.
+    SloppyWithClearing,
+    /// Allocator and collector clean up after themselves.
+    Clean,
+}
+
+impl fmt::Display for Hygiene {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Hygiene::Sloppy => "sloppy (stray pointers)",
+            Hygiene::SloppyWithClearing => "sloppy + stack clearing",
+            Hygiene::Clean => "clean allocator/collector",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Measured outcome for one regime.
+#[derive(Clone, Copy, Debug)]
+pub struct GenerationalReport {
+    /// Regime measured.
+    pub hygiene: Hygiene,
+    /// Minor collections that ran.
+    pub minor_collections: u64,
+    /// Objects promoted to the old generation over the run.
+    pub promoted_objects: u64,
+    /// Old objects alive just before the final full collection.
+    pub old_before_full: u64,
+    /// Objects alive after the final full collection (true live set).
+    pub live_after_full: u64,
+}
+
+impl GenerationalReport {
+    /// Tenured garbage: objects the generational collector promoted but a
+    /// full collection then reclaimed — the "ceiling" the paper describes.
+    pub fn tenured_garbage(&self) -> u64 {
+        self.old_before_full.saturating_sub(self.live_after_full)
+    }
+}
+
+/// Runs the churn under one hygiene regime.
+pub fn run(config: &GenerationalRun, hygiene: Hygiene, seed: u64) -> GenerationalReport {
+    let mut m = Machine::new(MachineConfig {
+        endian: Endian::Big,
+        gc: GcConfig {
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                max_heap_bytes: 64 << 20,
+                growth_pages: 32,
+                ..HeapConfig::default()
+            },
+            generational: true,
+            full_gc_every: u32::MAX, // minors only; the harness runs the full GC
+            min_bytes_between_gcs: 8 << 10,
+            free_space_divisor: 1 << 24,
+            ..GcConfig::default()
+        },
+        stack_bytes: 1 << 20,
+        frame: FramePolicy { pad_words: 8, clear_on_push: false },
+        register_windows: 8,
+        allocator_hygiene: hygiene == Hygiene::Clean,
+        collector_hygiene: hygiene == Hygiene::Clean,
+        stack_clearing: StackClearing {
+            enabled: hygiene == Hygiene::SloppyWithClearing,
+            every_allocs: 32,
+            max_bytes_per_clear: 64 << 10,
+        },
+        seed,
+        ..MachineConfig::default()
+    });
+    m.add_static_segment(Addr::new(0x2_0000), 4096);
+    let sink = m.alloc_static(1);
+
+    for i in 0..config.iterations {
+        // A transient chain built in a frame, dropped on return.
+        m.call(2, |m| {
+            let mut head = 0u32;
+            for _ in 0..config.chain_len {
+                let cell = m.alloc(8, ObjectKind::Composite).expect("heap has room");
+                m.store(cell, head);
+                head = cell.raw();
+                m.set_local(0, head);
+            }
+        });
+        // A tiny fraction is genuinely kept, so the live set is not empty.
+        if i % 256 == 0 {
+            let keep = m.alloc(8, ObjectKind::Composite).expect("heap has room");
+            let prev = m.load(sink);
+            m.store(keep, prev);
+            m.store(sink, keep.raw());
+        }
+    }
+
+    // One more explicit minor to settle, then census and full-collect.
+    m.gc_mut().collect_minor();
+    let (_, old_before) = m.gc().heap().generation_census();
+    m.collect();
+    let (young_after, old_after) = m.gc().heap().generation_census();
+    GenerationalReport {
+        hygiene,
+        minor_collections: m.gc().stats().minor_collections,
+        // Every old object got there by promotion (sticky mark bits).
+        promoted_objects: old_before,
+        old_before_full: old_before,
+        live_after_full: young_after + old_after,
+    }
+}
+
+/// Runs all three regimes and renders the comparison.
+pub fn compare(config: &GenerationalRun, seed: u64) -> Vec<GenerationalReport> {
+    [Hygiene::Sloppy, Hygiene::SloppyWithClearing, Hygiene::Clean]
+        .into_iter()
+        .map(|h| run(config, h, seed))
+        .collect()
+}
+
+/// Renders the comparison table.
+pub fn comparison_table(reports: &[GenerationalReport]) -> TextTable {
+    let mut t = TextTable::new(vec![
+        "Hygiene".into(),
+        "Minor GCs".into(),
+        "Old gen before full GC".into(),
+        "Live after full GC".into(),
+        "Tenured garbage".into(),
+    ]);
+    for r in reports {
+        t.row(vec![
+            r.hygiene.to_string(),
+            r.minor_collections.to_string(),
+            r.old_before_full.to_string(),
+            r.live_after_full.to_string(),
+            r.tenured_garbage().to_string(),
+        ]);
+    }
+    t
+}
+
+impl fmt::Display for GenerationalReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} minors, {} old before full GC, {} live after, {} tenured garbage",
+            self.hygiene,
+            self.minor_collections,
+            self.old_before_full,
+            self.live_after_full,
+            self.tenured_garbage()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GenerationalRun {
+        GenerationalRun { iterations: 800, chain_len: 16 }
+    }
+
+    #[test]
+    fn stray_pointers_tenure_garbage() {
+        let r = run(&small(), Hygiene::Sloppy, 3);
+        assert!(r.minor_collections > 2, "minors ran: {r}");
+        assert!(
+            r.tenured_garbage() > 50,
+            "stray stack pointers must tenure garbage: {r}"
+        );
+    }
+
+    #[test]
+    fn hygiene_lowers_the_ceiling() {
+        let sloppy = run(&small(), Hygiene::Sloppy, 3);
+        let clean = run(&small(), Hygiene::Clean, 3);
+        assert!(
+            clean.tenured_garbage() < sloppy.tenured_garbage(),
+            "clean {} !< sloppy {}",
+            clean.tenured_garbage(),
+            sloppy.tenured_garbage()
+        );
+    }
+
+    #[test]
+    fn clearing_helps_between_the_extremes() {
+        let sloppy = run(&small(), Hygiene::Sloppy, 3);
+        let cleared = run(&small(), Hygiene::SloppyWithClearing, 3);
+        assert!(
+            cleared.tenured_garbage() <= sloppy.tenured_garbage(),
+            "cleared {} !<= sloppy {}",
+            cleared.tenured_garbage(),
+            sloppy.tenured_garbage()
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let rs = compare(&GenerationalRun { iterations: 200, chain_len: 8 }, 1);
+        let t = comparison_table(&rs).to_string();
+        assert!(t.contains("sloppy"));
+        assert!(t.contains("clean"));
+    }
+}

@@ -1,0 +1,43 @@
+//! Experiment harnesses and reporting for the paper's evaluation.
+//!
+//! Each module reproduces one table, figure, or quantitative claim:
+//!
+//! * [`table1`] — **Table 1**: Program T retention with/without
+//!   blacklisting across the five platform profiles.
+//! * [`provenance`] — appendix B's classification of residual leaks
+//!   (statics vs. stacks vs. registers vs. heap).
+//! * [`large_alloc`] — observation 7: large-object placement difficulty
+//!   under the all-interior pointer policy.
+//! * [`fragmentation`] — the conclusions' address-ordered-free-list claim.
+//! * [`zorn`] — the conclusions' space comparison against explicit
+//!   deallocation.
+//! * [`dual_heap`] — footnote 4's "two copies offset by n" exact-pointer
+//!   oracle.
+//! * [`generational`] — §3.1's closing observation: stray stack pointers
+//!   place a ceiling on generational collection by tenuring garbage.
+//! * [`conservativism`] — the introduction's "degrees of conservativism":
+//!   fully conservative vs. atomic payloads vs. exact typed records.
+//! * [`ablation`] — isolating §3's design choices: blacklist backends,
+//!   aging TTLs, the vicinity window, the atomic-object exemption.
+//! * [`alignment`] — §2's unaligned-pointer study: scan stride vs.
+//!   retention and blacklist pressure.
+//!
+//! Formatting helpers ([`TextTable`], [`format_pct_range`]) render results
+//! in the paper's own style.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod alignment;
+pub mod conservativism;
+pub mod dual_heap;
+pub mod fragmentation;
+pub mod generational;
+pub mod large_alloc;
+pub mod provenance;
+mod report;
+pub mod table1;
+pub mod zorn;
+
+pub use report::{format_pct_range, TextTable};

@@ -1,0 +1,168 @@
+//! Plain-text table rendering for experiment reports.
+
+use std::fmt;
+
+/// A simple aligned text table, renderable as plain text or markdown.
+///
+/// # Example
+///
+/// ```
+/// use gc_analysis::TextTable;
+/// let mut t = TextTable::new(vec!["Machine".into(), "Retention".into()]);
+/// t.row(vec!["SPARC".into(), "79%".into()]);
+/// let text = t.to_string();
+/// assert!(text.contains("SPARC"));
+/// assert!(text.lines().count() >= 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        TextTable { headers, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row's arity differs from the header's.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity matches headers");
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+
+    /// Renders as a GitHub-flavoured markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let cell = |s: &str| s.replace('|', "\\|");
+        out.push_str("| ");
+        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(" |\n|");
+        for _ in &self.headers {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.iter().map(|c| cell(c)).collect::<Vec<_>>().join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let widths = self.widths();
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{cell:<width$}", width = widths[i])?;
+            }
+            writeln!(f)
+        };
+        line(f, &self.headers)?;
+        let rule: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(f, &rule)?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a percentage range the way the paper's Table 1 does:
+/// `79-79.5%`, `0-.5%`, `o%` becomes `0%`, single values collapse.
+pub fn format_pct_range(lo: f64, hi: f64) -> String {
+    let fmt1 = |v: f64| {
+        let pct = v * 100.0;
+        let rounded = (pct * 2.0).round() / 2.0; // half-percent resolution
+        if rounded == 0.0 {
+            "0".to_owned()
+        } else if (rounded - rounded.trunc()).abs() < f64::EPSILON {
+            format!("{}", rounded.trunc() as i64)
+        } else if rounded < 1.0 {
+            format!(".{}", (rounded.fract() * 10.0).round() as i64)
+        } else {
+            format!("{rounded:.1}")
+        }
+    };
+    let (l, h) = (fmt1(lo), fmt1(hi));
+    if l == h {
+        format!("{l}%")
+    } else {
+        format!("{l}-{h}%")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_text() {
+        let mut t = TextTable::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["xxx".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a    bb"));
+        assert!(lines[1].starts_with("---  --"));
+        assert!(lines[2].starts_with("xxx  y"));
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = TextTable::new(vec!["h1".into(), "h2".into()]);
+        t.row(vec!["a|b".into(), "c".into()]);
+        let md = t.to_markdown();
+        assert!(md.starts_with("| h1 | h2 |\n|---|---|\n"));
+        assert!(md.contains("a\\|b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        TextTable::new(vec!["a".into()]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn percentage_formatting_matches_paper_style() {
+        assert_eq!(format_pct_range(0.79, 0.795), "79-79.5%");
+        assert_eq!(format_pct_range(0.0, 0.005), "0-.5%");
+        assert_eq!(format_pct_range(0.28, 0.28), "28%");
+        assert_eq!(format_pct_range(0.0, 0.0), "0%");
+        assert_eq!(format_pct_range(0.005, 0.01), ".5-1%");
+        assert_eq!(format_pct_range(0.445, 0.55), "44.5-55%");
+        assert_eq!(format_pct_range(0.015, 0.035), "1.5-3.5%");
+    }
+}

@@ -1,0 +1,198 @@
+//! The conclusions' Zorn-style space comparison.
+//!
+//! "As measured in \[25\] (Zorn), simply replacing explicit deallocation in a
+//! leak-free program with conservative garbage collection is still likely
+//! to increase memory consumption. … any tracing garbage collector will
+//! require some fraction of the heap to be empty in order to avoid
+//! excessively frequent collections."
+//!
+//! The experiment runs the same churning workload twice — once against the
+//! explicit heap with prompt frees, once against the collector — and
+//! compares peak mapped memory.
+
+use crate::TextTable;
+use gc_core::{Collector, GcConfig};
+use gc_heap::{ExplicitHeap, HeapConfig, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Shape of the comparison workload.
+#[derive(Clone, Copy, Debug)]
+pub struct ZornRun {
+    /// Allocation operations.
+    pub operations: u32,
+    /// Steady-state live objects.
+    pub live_target: u32,
+    /// Object size in bytes.
+    pub object_bytes: u32,
+    /// The collector's free-space divisor (heap headroom knob).
+    pub free_space_divisor: u32,
+}
+
+impl Default for ZornRun {
+    fn default() -> Self {
+        ZornRun {
+            operations: 60_000,
+            live_target: 12_000,
+            object_bytes: 48,
+            free_space_divisor: 4,
+        }
+    }
+}
+
+/// Peak footprints of both managers.
+#[derive(Clone, Copy, Debug)]
+pub struct ZornReport {
+    /// Peak mapped bytes under explicit `malloc`/`free`.
+    pub explicit_peak_bytes: u64,
+    /// Peak mapped bytes under the conservative collector.
+    pub gc_peak_bytes: u64,
+}
+
+impl ZornReport {
+    /// GC footprint as a multiple of explicit deallocation's.
+    pub fn gc_overhead_factor(&self) -> f64 {
+        self.gc_peak_bytes as f64 / self.explicit_peak_bytes.max(1) as f64
+    }
+}
+
+/// Runs the comparison.
+pub fn run(config: &ZornRun, seed: u64) -> ZornReport {
+    // --- Explicit heap with prompt frees (leak-free program). ---
+    let mut space = AddressSpace::new(Endian::Big);
+    let mut heap = ExplicitHeap::new(HeapConfig {
+        heap_base: Addr::new(0x10_0000),
+        max_heap_bytes: 512 << 20,
+        growth_pages: 16, // fine-grained growth so peaks are not quantized
+        ..HeapConfig::default()
+    });
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut live: Vec<Addr> = Vec::new();
+    let mut explicit_peak = 0u64;
+    for _ in 0..config.operations {
+        let p = heap.malloc(&mut space, config.object_bytes).expect("generous limit");
+        live.push(p);
+        if live.len() > config.live_target as usize {
+            let idx = rng.random_range(0..live.len());
+            let victim = live.swap_remove(idx);
+            heap.free(victim).expect("live pointer");
+        }
+        explicit_peak = explicit_peak.max(u64::from(heap.stats().mapped_pages) * 4096);
+    }
+
+    // --- Conservative collector, same workload, drops instead of frees. ---
+    let mut space = AddressSpace::new(Endian::Big);
+    // A root array holding exactly the live set (the "written for garbage
+    // collection" style: dead slots are overwritten/cleared).
+    let slots = config.live_target + 1;
+    let roots_base = Addr::new(0x2_0000);
+    space
+        .map(SegmentSpec::new("live-set", SegmentKind::Bss, roots_base, slots * 4))
+        .expect("root array maps");
+    let mut gc = Collector::new(
+        space,
+        GcConfig {
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                max_heap_bytes: 512 << 20,
+                growth_pages: 16,
+                ..HeapConfig::default()
+            },
+            free_space_divisor: config.free_space_divisor,
+            ..GcConfig::default()
+        },
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut next_slot = 0u32;
+    let mut filled = 0u32;
+    let mut gc_peak = 0u64;
+    for _ in 0..config.operations {
+        let p = gc.alloc(config.object_bytes, ObjectKind::Composite).expect("generous limit");
+        gc.space_mut().write_u32(roots_base + next_slot * 4, p.raw()).expect("slot mapped");
+        filled = filled.max(next_slot + 1);
+        if filled >= slots {
+            // Overwrite a random victim slot next (drop without free).
+            next_slot = rng.random_range(0..slots);
+        } else {
+            next_slot += 1;
+        }
+        gc_peak = gc_peak.max(u64::from(gc.heap().stats().mapped_pages) * 4096);
+    }
+    ZornReport { explicit_peak_bytes: explicit_peak, gc_peak_bytes: gc_peak }
+}
+
+/// Renders the comparison.
+pub fn table(report: &ZornReport) -> TextTable {
+    let mut t = TextTable::new(vec!["Manager".into(), "Peak footprint".into(), "Relative".into()]);
+    t.row(vec![
+        "explicit malloc/free".into(),
+        format!("{} KB", report.explicit_peak_bytes / 1024),
+        "1.00x".into(),
+    ]);
+    t.row(vec![
+        "conservative GC".into(),
+        format!("{} KB", report.gc_peak_bytes / 1024),
+        format!("{:.2}x", report.gc_overhead_factor()),
+    ]);
+    t
+}
+
+impl fmt::Display for ZornReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "explicit peak {} KB, GC peak {} KB ({:.2}x)",
+            self.explicit_peak_bytes / 1024,
+            self.gc_peak_bytes / 1024,
+            self.gc_overhead_factor()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gc_uses_more_memory_than_prompt_free() {
+        let config = ZornRun {
+            operations: 10_000,
+            live_target: 1_000,
+            object_bytes: 48,
+            free_space_divisor: 4,
+        };
+        let r = run(&config, 5);
+        assert!(
+            r.gc_overhead_factor() > 1.0,
+            "tracing needs headroom over prompt frees: {r}"
+        );
+        assert!(
+            r.gc_overhead_factor() < 16.0,
+            "but not absurdly much: {r}"
+        );
+    }
+
+    #[test]
+    fn smaller_divisor_means_more_headroom() {
+        // free_space_divisor is bdwgc's knob: smaller divisor => collect
+        // less often => larger heap.
+        let base = ZornRun { operations: 8_000, live_target: 800, ..ZornRun::default() };
+        let tight = run(&ZornRun { free_space_divisor: 8, ..base }, 7);
+        let roomy = run(&ZornRun { free_space_divisor: 1, ..base }, 7);
+        assert!(
+            roomy.gc_peak_bytes >= tight.gc_peak_bytes,
+            "divisor 1 ({} KB) should map at least as much as divisor 8 ({} KB)",
+            roomy.gc_peak_bytes / 1024,
+            tight.gc_peak_bytes / 1024
+        );
+    }
+
+    #[test]
+    fn table_renders() {
+        let r = ZornReport { explicit_peak_bytes: 1 << 20, gc_peak_bytes: 2 << 20 };
+        let t = table(&r).to_string();
+        assert!(t.contains("2.00x"));
+    }
+}

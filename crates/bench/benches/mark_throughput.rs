@@ -1,0 +1,57 @@
+//! Mark-phase throughput over pointer-dense and pointer-free heaps: the
+//! cost structure behind the paper's advice to allocate large pointer-free
+//! objects atomically (§2: compressed data "introduce[s] false pointers
+//! with excessively high probability" *and* costs scan time).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gc_core::{Collector, GcConfig};
+use gc_heap::{HeapConfig, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
+
+fn list_collector(cells: u32, kind: ObjectKind) -> Collector {
+    let mut space = AddressSpace::new(Endian::Big);
+    space
+        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .expect("maps");
+    let mut gc = Collector::new(
+        space,
+        GcConfig {
+            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            min_bytes_between_gcs: u64::MAX,
+            ..GcConfig::default()
+        },
+    );
+    let mut head = 0u32;
+    for _ in 0..cells {
+        let cell = gc.alloc(16, kind).expect("heap has room");
+        if kind == ObjectKind::Composite {
+            gc.space_mut().write_u32(cell, head).expect("mapped");
+        }
+        gc.space_mut().write_u32(Addr::new(0x1_0000), cell.raw()).expect("mapped");
+        head = cell.raw();
+        // Keep every cell alive through a chain of static slots.
+        let slot = Addr::new(0x1_0004);
+        gc.space_mut().write_u32(slot, head).expect("mapped");
+    }
+    gc
+}
+
+fn bench_mark(c: &mut Criterion) {
+    const CELLS: u32 = 100_000;
+    let mut group = c.benchmark_group("mark_phase");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(u64::from(CELLS) * 16));
+
+    // Composite chain: every word scanned, pointer chased.
+    let mut gc = list_collector(CELLS, ObjectKind::Composite);
+    group.bench_function("pointer_dense_chain", |b| b.iter(|| gc.collect()));
+
+    // Atomic objects: marked but never scanned.
+    let mut gc = list_collector(CELLS, ObjectKind::Atomic);
+    group.bench_function("atomic_objects", |b| b.iter(|| gc.collect()));
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_mark);
+criterion_main!(benches);

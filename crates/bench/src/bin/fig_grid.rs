@@ -1,0 +1,43 @@
+//! Regenerates **Figures 3/4**: retention from one false reference into a
+//! rectangular grid, embedded links vs. separate cons-cells.
+
+use gc_analysis::TextTable;
+use gc_platforms::{BuildOptions, Profile};
+use gc_workloads::{Grid, GridStyle};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let size: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(100);
+    let trials: u64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+
+    let mut table = TextTable::new(vec![
+        "Representation".into(),
+        "Objects".into(),
+        "Mean retained by 1 false ref".into(),
+        "Worst case".into(),
+    ]);
+    for style in [GridStyle::EmbeddedLinks, GridStyle::ConsCells] {
+        let mut sum = 0u64;
+        let mut worst = 0u64;
+        let mut total = 0u64;
+        for seed in 0..trials {
+            let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
+            let r = Grid { rows: size, cols: size, style }.run(&mut m, 1, seed);
+            sum += r.retained_objects;
+            worst = worst.max(r.retained_objects);
+            total = r.total_objects;
+        }
+        table.row(vec![
+            style.to_string(),
+            total.to_string(),
+            format!("{:.1} ({:.1}%)", sum as f64 / trials as f64,
+                100.0 * sum as f64 / trials as f64 / total as f64),
+            format!("{worst}"),
+        ]);
+    }
+    println!("{size}x{size} grid, one injected false reference, {trials} trials\n");
+    println!("{table}");
+    println!("Paper (§4): embedded links retain \"a large fraction of the");
+    println!("structure\"; with separate cons-cells \"at most a single row or");
+    println!("column is affected\".");
+}

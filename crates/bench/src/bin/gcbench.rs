@@ -1,0 +1,49 @@
+//! GCBench — the classic stress benchmark distributed with the collector
+//! the paper describes — run under all three collector modes as a
+//! whole-system throughput check.
+
+use gc_analysis::TextTable;
+use gc_platforms::{BuildOptions, Profile};
+use gc_workloads::GcBench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let classic = args.first().map(String::as_str) == Some("classic");
+    let shape = if classic { GcBench::classic() } else { GcBench::scaled() };
+    println!(
+        "GCBench ({}): long-lived depth {}, short-lived depths {}..{} step 2\n",
+        if classic { "classic" } else { "scaled" },
+        shape.long_lived_depth,
+        shape.min_depth,
+        shape.max_depth
+    );
+    let mut table = TextTable::new(vec![
+        "Collector mode".into(),
+        "Elapsed".into(),
+        "GCs".into(),
+        "Final heap pages".into(),
+    ]);
+    for mode in ["stop-world", "generational", "incremental"] {
+        let mut profile = Profile::synthetic();
+        profile.max_heap_bytes = 512 << 20;
+        let mut platform = profile.build_custom(BuildOptions::default(), |gc| match mode {
+            "generational" => {
+                gc.generational = true;
+                gc.full_gc_every = 6;
+            }
+            "incremental" => {
+                gc.incremental = true;
+                gc.incremental_budget = 2048;
+            }
+            _ => {}
+        });
+        let r = shape.run(&mut platform.machine);
+        table.row(vec![
+            mode.into(),
+            format!("{:?}", r.elapsed),
+            r.collections.to_string(),
+            r.final_heap_pages.to_string(),
+        ]);
+    }
+    println!("{table}");
+}

@@ -1,0 +1,36 @@
+//! Single-row Table-1 probe: runs Program T at full scale on one platform
+//! profile, both blacklisting toggles, for the given seeds. The
+//! calibration tool behind the numbers in EXPERIMENTS.md.
+//!
+//! Usage: `probe <sparc_static|sparc_dynamic|sgi|os2|pcr> [seed...]`
+
+use gc_analysis::table1;
+use gc_platforms::Profile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let row = args.first().map(String::as_str).unwrap_or("sparc_static");
+    let seeds: Vec<u64> = if args.len() > 1 {
+        args[1..].iter().filter_map(|s| s.parse().ok()).collect()
+    } else {
+        vec![1, 2]
+    };
+    let profile = match row {
+        "sparc_static" => Profile::sparc_static(false),
+        "sparc_dynamic" => Profile::sparc_dynamic(false),
+        "sgi" => Profile::sgi(false),
+        "os2" => Profile::os2(false),
+        "pcr" => Profile::pcr(4, false),
+        other => panic!("unknown row {other}"),
+    };
+    for &seed in &seeds {
+        let off = table1::run_once(&profile, seed, false, 1);
+        let on = table1::run_once(&profile, seed, true, 1);
+        println!(
+            "{row} seed {seed}: no-bl {:.1}%  bl {:.1}%  (bl pages {})",
+            100.0 * off.fraction_retained(),
+            100.0 * on.fraction_retained(),
+            on.blacklist_pages
+        );
+    }
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Table 1**: storage retention with and without blacklisting.
+//!
+//! Usage: `table1 [scale [seed...]]` — scale divides Program T's size
+//! (default 1 = the paper's full 20 MB configuration; use e.g. 10 for a
+//! quick pass). Default seeds: 1 2 3.
+
+use gc_analysis::table1::{self, Table1Config};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let seeds: Vec<u64> = if args.len() > 1 {
+        args[1..].iter().filter_map(|s| s.parse().ok()).collect()
+    } else {
+        vec![1, 2, 3]
+    };
+    let config = Table1Config { seeds, scale };
+    eprintln!("running Table 1 at scale 1/{} with seeds {:?}…", config.scale, config.seeds);
+    let table = table1::run(&config);
+    println!("{table}");
+    println!("Paper's Table 1 for comparison:");
+    println!("  SPARC(static)   no     79-79.5%    0-.5%");
+    println!("  SPARC(static)   yes    78-78.5%    .5-1%");
+    println!("  SPARC(dynamic)  no     8-9.5%      .5%");
+    println!("  SPARC(dynamic)  yes    9-11.5%     0-.5%");
+    println!("  SGI(static)     no     1.5-8%      0%");
+    println!("  SGI(static)     yes    1-4%        0%");
+    println!("  OS/2(static)    no     28%         3%");
+    println!("  OS/2(static)    yes    26%         1%");
+    println!("  PCR             mixed  44.5-55%    1.5-3.5%");
+}

@@ -1,0 +1,11 @@
+//! Benchmark harness for the paper's tables, figures and timing claims.
+//!
+//! * Criterion benches (`benches/`) measure the timing claims: allocation
+//!   throughput vs. `malloc`/`free` and the blacklisting bookkeeping
+//!   overhead (footnote 3), plus mark-phase throughput and pause shape.
+//! * One binary per table/figure (`src/bin/`) regenerates the paper's
+//!   results; see EXPERIMENTS.md at the repository root for the index and
+//!   the measured-vs-paper comparison.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]

@@ -1,0 +1,234 @@
+//! Collector configuration.
+
+use gc_heap::HeapConfig;
+use std::fmt;
+
+/// How candidate pointers into object interiors are treated.
+///
+/// The paper (§2, observation 7) distinguishes environments in which any
+/// interior pointer must keep its object alive (required when array elements
+/// are passed by reference, and for fully conforming C) from those in which
+/// only object bases, or pointers into an object's first page, are honoured.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum PointerPolicy {
+    /// Any address inside an object's extent retains it — the paper's hard
+    /// case, and the configuration under which Table 1 was measured.
+    #[default]
+    AllInterior,
+    /// Only addresses within the *first page* of an object retain it
+    /// (observation 7: "never a problem if addresses that do not point to
+    /// the first page of an object can be considered invalid").
+    FirstPage,
+    /// Only exact object base addresses retain (a fully type-accurate heap
+    /// would allow this; closest to Bartlett-style collectors).
+    BaseOnly,
+}
+
+impl fmt::Display for PointerPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PointerPolicy::AllInterior => "all-interior",
+            PointerPolicy::FirstPage => "first-page",
+            PointerPolicy::BaseOnly => "base-only",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Stride at which root and heap words are scanned for candidate pointers.
+///
+/// Machines that guarantee pointer alignment let the collector step by whole
+/// words; without that guarantee "all possible alignments must be
+/// considered, thus greatly increasing the number of false pointers" (§2 and
+/// figure 1 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ScanAlignment {
+    /// Word-aligned candidates only (modern compilers; the common case).
+    #[default]
+    Word,
+    /// Halfword-aligned candidates (figure 1's integer-concatenation case).
+    HalfWord,
+    /// Every byte offset is a candidate (worst case).
+    Byte,
+}
+
+impl ScanAlignment {
+    /// The scanning stride in bytes.
+    pub fn stride(self) -> u32 {
+        match self {
+            ScanAlignment::Word => 4,
+            ScanAlignment::HalfWord => 2,
+            ScanAlignment::Byte => 1,
+        }
+    }
+}
+
+impl fmt::Display for ScanAlignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ScanAlignment::Word => "word",
+            ScanAlignment::HalfWord => "halfword",
+            ScanAlignment::Byte => "byte",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Storage backend for the page blacklist.
+///
+/// The paper: "The blacklist can be implemented as a bit array, indexed by
+/// page numbers. If the heap is discontinuous … a hash table with one bit
+/// per entry. If a false reference is seen to any of the pages with a given
+/// hash address, all of them are effectively blacklisted. Since collisions
+/// can easily be made rare, this does not result in much lost precision."
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BlacklistKind {
+    /// Exact per-page entries with provenance and aging metadata.
+    Exact,
+    /// One-bit-per-entry hash table with `1 << bits` entries; collisions
+    /// over-blacklist, never under-blacklist.
+    Hashed {
+        /// log₂ of the table size in bits.
+        bits: u8,
+    },
+}
+
+impl Default for BlacklistKind {
+    fn default() -> Self {
+        BlacklistKind::Exact
+    }
+}
+
+/// Full collector configuration.
+///
+/// The defaults correspond to the paper's evaluated collector: blacklisting
+/// on, all interior pointers honoured, word-aligned scanning, a collection
+/// at startup before any allocation, and atomic small objects permitted on
+/// blacklisted pages.
+#[derive(Clone, Debug)]
+pub struct GcConfig {
+    /// Heap substrate configuration (base address, limit, growth, policy).
+    pub heap: HeapConfig,
+    /// Interior-pointer treatment.
+    pub pointer_policy: PointerPolicy,
+    /// Whether the blacklist is maintained and consulted (Table 1 toggles
+    /// this).
+    pub blacklisting: bool,
+    /// Blacklist storage backend.
+    pub blacklist_kind: BlacklistKind,
+    /// Number of collections an unconfirmed blacklist entry survives before
+    /// aging out ("blacklisted values that are no longer found by a later
+    /// collection may be removed").
+    pub blacklist_ttl: u32,
+    /// Root/heap scanning stride.
+    pub scan_alignment: ScanAlignment,
+    /// Run a (fast) collection at startup, before any allocation, so static
+    /// data's false references are blacklisted before they can pin objects.
+    pub initial_collect: bool,
+    /// Collect when bytes allocated since the last collection exceed
+    /// `mapped heap bytes / free_space_divisor` (bdwgc's
+    /// `GC_free_space_divisor`).
+    pub free_space_divisor: u32,
+    /// Never auto-collect before this many bytes have been allocated since
+    /// the previous collection.
+    pub min_bytes_between_gcs: u64,
+    /// Vicinity window beyond the current heap break, in pages: invalid
+    /// candidates within the current heap range *or* this window "could
+    /// conceivably become valid object addresses as a result of later
+    /// allocation" and are blacklisted.
+    pub growth_window_pages: u32,
+    /// Allow small pointer-free objects on blacklisted pages (§3: allowed
+    /// "because the objects are small and known not to contain pointers").
+    pub allow_atomic_on_blacklist: bool,
+    /// Record per-page provenance of blacklist entries and retention traces
+    /// (diagnostics; small cost).
+    pub track_sources: bool,
+    /// Enable sticky-mark-bit generational collection (the PCR design the
+    /// paper builds on, \[12\]): automatic collections are *minor* — they
+    /// scan roots plus dirty old objects and sweep only the young
+    /// generation — with a full collection every
+    /// [`full_gc_every`](GcConfig::full_gc_every) cycles. Requires the
+    /// mutator to report heap writes via
+    /// [`Collector::record_write`](crate::Collector::record_write).
+    pub generational: bool,
+    /// With [`generational`](GcConfig::generational): run a full collection
+    /// after this many consecutive minor collections.
+    pub full_gc_every: u32,
+    /// Enable incremental marking, in the style of the mostly-parallel
+    /// collector the paper cites as \[8\] (Boehm–Demers–Shenker): a brief
+    /// root scan starts the cycle, tracing proceeds in bounded increments
+    /// interleaved with the mutator, and a short stop-the-world finish
+    /// rescans roots and dirty pages. Requires the mutator to report heap
+    /// writes via [`Collector::record_write`](crate::Collector::record_write).
+    /// Mutually exclusive with [`generational`](GcConfig::generational).
+    pub incremental: bool,
+    /// Objects traced per increment in incremental mode.
+    pub incremental_budget: u32,
+}
+
+impl Default for GcConfig {
+    fn default() -> Self {
+        GcConfig {
+            heap: HeapConfig::default(),
+            pointer_policy: PointerPolicy::AllInterior,
+            blacklisting: true,
+            blacklist_kind: BlacklistKind::Exact,
+            blacklist_ttl: 2,
+            scan_alignment: ScanAlignment::Word,
+            initial_collect: true,
+            free_space_divisor: 4,
+            min_bytes_between_gcs: 256 << 10,
+            growth_window_pages: 8192,
+            allow_atomic_on_blacklist: true,
+            track_sources: true,
+            generational: false,
+            full_gc_every: 8,
+            incremental: false,
+            incremental_budget: 512,
+        }
+    }
+}
+
+impl GcConfig {
+    /// The paper's "no blacklisting" baseline: identical except the
+    /// blacklist is never maintained or consulted.
+    pub fn without_blacklisting(mut self) -> Self {
+        self.blacklisting = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_configuration() {
+        let c = GcConfig::default();
+        assert!(c.blacklisting);
+        assert!(c.initial_collect);
+        assert_eq!(c.pointer_policy, PointerPolicy::AllInterior);
+        assert_eq!(c.scan_alignment, ScanAlignment::Word);
+        assert!(c.allow_atomic_on_blacklist);
+    }
+
+    #[test]
+    fn strides() {
+        assert_eq!(ScanAlignment::Word.stride(), 4);
+        assert_eq!(ScanAlignment::HalfWord.stride(), 2);
+        assert_eq!(ScanAlignment::Byte.stride(), 1);
+    }
+
+    #[test]
+    fn without_blacklisting_only_toggles_blacklist() {
+        let c = GcConfig::default().without_blacklisting();
+        assert!(!c.blacklisting);
+        assert!(c.initial_collect, "other settings untouched");
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(PointerPolicy::AllInterior.to_string(), "all-interior");
+        assert_eq!(ScanAlignment::Byte.to_string(), "byte");
+    }
+}

@@ -1,0 +1,71 @@
+//! Collector error type.
+
+use gc_heap::HeapError;
+use gc_vmspace::VmError;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by collector operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum GcError {
+    /// The heap could not satisfy an allocation even after collecting.
+    Heap(HeapError),
+    /// The simulated memory faulted.
+    Vm(VmError),
+    /// A finalizer was registered for an address that is not a live object
+    /// base.
+    NotAnObject {
+        /// The offending address.
+        addr: gc_vmspace::Addr,
+    },
+}
+
+impl fmt::Display for GcError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GcError::Heap(e) => write!(f, "heap error: {e}"),
+            GcError::Vm(e) => write!(f, "simulated memory fault: {e}"),
+            GcError::NotAnObject { addr } => {
+                write!(f, "{addr} is not the base of a live object")
+            }
+        }
+    }
+}
+
+impl Error for GcError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            GcError::Heap(e) => Some(e),
+            GcError::Vm(e) => Some(e),
+            GcError::NotAnObject { .. } => None,
+        }
+    }
+}
+
+impl From<HeapError> for GcError {
+    fn from(e: HeapError) -> Self {
+        GcError::Heap(e)
+    }
+}
+
+impl From<VmError> for GcError {
+    fn from(e: VmError) -> Self {
+        GcError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vmspace::Addr;
+
+    #[test]
+    fn display_and_chaining() {
+        let e = GcError::from(HeapError::ZeroSized);
+        assert!(e.to_string().contains("zero-sized"));
+        assert!(e.source().is_some());
+        let e = GcError::NotAnObject { addr: Addr::new(16) };
+        assert!(e.to_string().contains("0x00000010"));
+    }
+}

@@ -1,0 +1,309 @@
+//! The conservative mark phase with blacklisting — figure 2 of the paper.
+//!
+//! ```text
+//! mark(p) {
+//!     if p is not a valid object address
+//!         if p is in the vicinity of the heap
+//!             add p to blacklist
+//!         return
+//!     if p is marked return
+//!     set mark bit for p
+//!     for each field q in the object referenced by p
+//!         mark(q)
+//! }
+//! ```
+//!
+//! The recursion is replaced by an explicit mark stack; "valid object
+//! address" is the heap's object map filtered by the configured
+//! [`PointerPolicy`](crate::PointerPolicy); "vicinity of the heap" is the
+//! current heap address range plus a growth window, since such addresses
+//! "could conceivably become valid object addresses as a result of later
+//! allocation".
+
+use crate::{Blacklist, GcConfig, PointerPolicy, RootClass};
+use gc_heap::{Heap, ObjRef, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, Endian, Segment, PAGE_BYTES};
+
+/// Counters produced by one mark phase.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct MarkOutcome {
+    pub root_words: u64,
+    pub heap_words: u64,
+    pub candidates_in_range: u64,
+    pub valid_pointers: u64,
+    pub false_refs_near_heap: u64,
+    pub objects_marked: u64,
+    pub bytes_marked: u64,
+}
+
+/// One mark phase over a frozen address space.
+pub(crate) struct Marker<'a> {
+    space: &'a AddressSpace,
+    heap: &'a mut Heap,
+    blacklist: &'a mut Blacklist,
+    config: &'a GcConfig,
+    endian: Endian,
+    /// Vicinity of the heap: `[vic_lo, vic_hi)` as 64-bit bounds.
+    vic_lo: u64,
+    vic_hi: u64,
+    stack: Vec<ObjRef>,
+    /// Minor mode: old objects are generation boundaries — never marked or
+    /// traced; the young reachable set is found from roots plus dirty old
+    /// objects.
+    minor: bool,
+    pub(crate) out: MarkOutcome,
+}
+
+impl<'a> Marker<'a> {
+    pub(crate) fn new(
+        space: &'a AddressSpace,
+        heap: &'a mut Heap,
+        blacklist: &'a mut Blacklist,
+        config: &'a GcConfig,
+    ) -> Self {
+        let base = config.heap.heap_base;
+        let lo = heap.lo().unwrap_or(base).min(base);
+        let hi = u64::from(heap.hi().raw())
+            + u64::from(config.growth_window_pages) * u64::from(PAGE_BYTES);
+        let endian = space.endian();
+        Marker {
+            space,
+            heap,
+            blacklist,
+            config,
+            endian,
+            vic_lo: u64::from(lo.raw()),
+            vic_hi: hi.min(1 << 32),
+            stack: Vec::new(),
+            minor: false,
+            out: MarkOutcome::default(),
+        }
+    }
+
+    /// Switches the marker to minor (young-only) mode.
+    pub(crate) fn minor(mut self) -> Self {
+        self.minor = true;
+        self
+    }
+
+    /// Scans the fields of every old composite object on the given dirty
+    /// pages — the generational remembered set.
+    pub(crate) fn scan_dirty_old(&mut self, pages: impl IntoIterator<Item = gc_vmspace::PageIdx>) {
+        self.scan_pages(pages, true)
+    }
+
+    /// Scans the fields of composite objects on the given pages; with
+    /// `only_old`, restricted to the old generation (minor collections),
+    /// otherwise every live composite object (the incremental finish
+    /// phase's dirty rescan).
+    pub(crate) fn scan_pages(
+        &mut self,
+        pages: impl IntoIterator<Item = gc_vmspace::PageIdx>,
+        only_old: bool,
+    ) {
+        let space = self.space;
+        for page in pages {
+            let objs = self.heap.objects_on_page(page);
+            for obj in objs {
+                if obj.kind != ObjectKind::Composite
+                    || (only_old && !self.heap.is_old(obj))
+                    || obj.bytes < 4
+                {
+                    continue;
+                }
+                let bytes = space.bytes_at(obj.base, obj.bytes).expect("live object mapped");
+                let stride = self.config.scan_alignment.stride() as usize;
+                for off in (0..=bytes.len() - 4).step_by(stride) {
+                    let value = self.endian.read_u32(&bytes[off..off + 4]);
+                    self.out.heap_words += 1;
+                    self.consider(value, RootClass::Heap);
+                }
+            }
+            self.drain();
+        }
+    }
+
+    /// Scans every root segment and transitively marks the reachable heap.
+    pub(crate) fn run(&mut self) {
+        let space = self.space;
+        for seg in space.roots() {
+            self.scan_root_segment(seg);
+            self.drain();
+        }
+    }
+
+    /// Scans every root segment without draining: the found objects stay
+    /// on the mark stack for budgeted tracing (incremental mode).
+    pub(crate) fn run_roots_only(&mut self) {
+        let space = self.space;
+        for seg in space.roots() {
+            self.scan_root_segment(seg);
+        }
+    }
+
+    /// Seeds the mark stack (resuming an incremental cycle).
+    pub(crate) fn set_stack(&mut self, stack: Vec<ObjRef>) {
+        self.stack = stack;
+    }
+
+    /// Surrenders the remaining mark stack (pausing an incremental cycle).
+    pub(crate) fn take_stack(&mut self) -> Vec<ObjRef> {
+        std::mem::take(&mut self.stack)
+    }
+
+    /// Traces up to `budget` objects off the mark stack; returns `true`
+    /// when the stack is empty (tracing complete).
+    pub(crate) fn drain_budget(&mut self, budget: u32) -> bool {
+        let space = self.space;
+        let stride = self.config.scan_alignment.stride() as usize;
+        let mut traced = 0;
+        while traced < budget {
+            let Some(obj) = self.stack.pop() else { return true };
+            traced += 1;
+            let bytes = space.bytes_at(obj.base, obj.bytes).expect("live object mapped");
+            if bytes.len() < 4 {
+                continue;
+            }
+            if let Some(desc) = self.heap.descriptor_of(obj.base) {
+                let offsets: Vec<u32> = desc.pointer_offsets().collect();
+                for off in offsets {
+                    let byte_off = (off * 4) as usize;
+                    if byte_off + 4 > bytes.len() {
+                        break;
+                    }
+                    let value = self.endian.read_u32(&bytes[byte_off..byte_off + 4]);
+                    self.out.heap_words += 1;
+                    self.consider(value, RootClass::Heap);
+                }
+                continue;
+            }
+            for off in (0..=bytes.len() - 4).step_by(stride) {
+                let value = self.endian.read_u32(&bytes[off..off + 4]);
+                self.out.heap_words += 1;
+                self.consider(value, RootClass::Heap);
+            }
+        }
+        self.stack.is_empty()
+    }
+
+    /// Read access to the heap mid-mark (for finalization queries).
+    pub(crate) fn heap(&self) -> &Heap {
+        self.heap
+    }
+
+    /// Marks one object and everything reachable from it (used to resurrect
+    /// finalizable objects).
+    pub(crate) fn mark_object(&mut self, obj: ObjRef) {
+        self.mark_resolved(obj, RootClass::Heap);
+        self.drain();
+    }
+
+    fn scan_root_segment(&mut self, seg: &'a Segment) {
+        let source = RootClass::of_segment(seg.kind());
+        let stride = self.config.scan_alignment.stride() as usize;
+        // Scan only the effective root range (e.g. the live part of a
+        // stack, between sp and the stack top).
+        let (lo, end) = seg.scan_range();
+        let from = (lo - seg.base()) as usize;
+        let to = (end - u64::from(seg.base().raw())) as usize;
+        let bytes = &seg.bytes()[from..to];
+        // Candidates are read at machine offsets, so start at the first
+        // in-range address aligned to the stride.
+        let misalign = (lo.raw() % stride as u32) as usize;
+        let start = (stride - misalign) % stride;
+        if bytes.len() < 4 || start > bytes.len() - 4 {
+            return;
+        }
+        for off in (start..=bytes.len() - 4).step_by(stride) {
+            let value = self.endian.read_u32(&bytes[off..off + 4]);
+            self.out.root_words += 1;
+            self.consider(value, source);
+        }
+    }
+
+    /// Figure 2's `mark(p)` for a single candidate word.
+    #[inline]
+    fn consider(&mut self, value: u32, source: RootClass) {
+        let v = u64::from(value);
+        if v < self.vic_lo || v >= self.vic_hi {
+            return;
+        }
+        self.out.candidates_in_range += 1;
+        let addr = Addr::new(value);
+        match self.resolve(addr) {
+            Some(obj) => {
+                self.out.valid_pointers += 1;
+                self.mark_resolved(obj, source);
+            }
+            None => {
+                // p is not a valid object address but is in the vicinity of
+                // the heap: blacklist it.
+                self.out.false_refs_near_heap += 1;
+                if self.config.blacklisting {
+                    self.blacklist.note_false_ref(addr.page(), source);
+                }
+            }
+        }
+    }
+
+    fn mark_resolved(&mut self, obj: ObjRef, _source: RootClass) {
+        // In minor mode the old generation is a boundary: old objects are
+        // kept by the sweep regardless, and their outgoing pointers are
+        // covered by the dirty-card scan.
+        if self.minor && self.heap.is_old(obj) {
+            return;
+        }
+        if self.heap.set_marked(obj) {
+            self.out.objects_marked += 1;
+            self.out.bytes_marked += u64::from(obj.bytes);
+            if obj.kind == ObjectKind::Composite {
+                self.stack.push(obj);
+            }
+        }
+    }
+
+    /// Applies the pointer policy to an interior candidate.
+    fn resolve(&self, addr: Addr) -> Option<ObjRef> {
+        let obj = self.heap.object_containing(addr)?;
+        let ok = match self.config.pointer_policy {
+            PointerPolicy::AllInterior => true,
+            PointerPolicy::FirstPage => addr.offset_from(obj.base) < PAGE_BYTES,
+            PointerPolicy::BaseOnly => addr == obj.base,
+        };
+        ok.then_some(obj)
+    }
+
+    fn drain(&mut self) {
+        let space = self.space;
+        while let Some(obj) = self.stack.pop() {
+            let bytes = space
+                .bytes_at(obj.base, obj.bytes)
+                .expect("live object memory is mapped");
+            if bytes.len() < 4 {
+                continue;
+            }
+            // Typed objects carry complete pointer-location information
+            // (the "less conservative" end of the paper's spectrum): only
+            // their declared pointer words are considered.
+            if let Some(desc) = self.heap.descriptor_of(obj.base) {
+                let offsets: Vec<u32> = desc.pointer_offsets().collect();
+                for off in offsets {
+                    let byte_off = (off * 4) as usize;
+                    if byte_off + 4 > bytes.len() {
+                        break;
+                    }
+                    let value = self.endian.read_u32(&bytes[byte_off..byte_off + 4]);
+                    self.out.heap_words += 1;
+                    self.consider(value, RootClass::Heap);
+                }
+                continue;
+            }
+            let stride = self.config.scan_alignment.stride() as usize;
+            for off in (0..=bytes.len() - 4).step_by(stride) {
+                let value = self.endian.read_u32(&bytes[off..off + 4]);
+                self.out.heap_words += 1;
+                self.consider(value, RootClass::Heap);
+            }
+        }
+    }
+}

@@ -1,0 +1,138 @@
+//! Retention tracing: *why* is this object still alive?
+//!
+//! The paper tracks down individual false references by hand ("whenever we
+//! have managed to track down similar references…", observation 5; the
+//! appendix-B source classification). This module automates that workflow:
+//! given a set of target objects, it reports every root word from which a
+//! target is transitively reachable, classified by root segment — the
+//! conservative-GC equivalent of a leak debugger.
+
+use crate::{PointerPolicy, RootClass};
+use gc_heap::{Heap, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, PAGE_BYTES};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// One root word that (conservatively) retains a target object.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Retainer {
+    /// Address of the retaining root word.
+    pub root_addr: Addr,
+    /// Name of the segment holding the word.
+    pub segment: String,
+    /// Classification of the segment.
+    pub class: RootClass,
+    /// The word's value (the possibly-false pointer).
+    pub value: u32,
+    /// Base of the object the word directly pins.
+    pub pins: Addr,
+    /// Base of the target object reached from `pins`.
+    pub target: Addr,
+}
+
+impl fmt::Display for Retainer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} word at {} = {:#010x} pins object {} which reaches {}",
+            self.class, self.root_addr, self.value, self.pins, self.target
+        )
+    }
+}
+
+/// Finds every root word retaining any of `targets` (live object bases).
+///
+/// Runs in one pass over live heap objects (to build reverse edges) plus
+/// one pass over the roots; intended for post-collection diagnostics, not
+/// the hot path.
+pub(crate) fn find_retainers(
+    space: &AddressSpace,
+    heap: &Heap,
+    policy: PointerPolicy,
+    stride: u32,
+    targets: &[Addr],
+) -> Vec<Retainer> {
+    let target_set: HashSet<Addr> = targets.iter().copied().collect();
+    if target_set.is_empty() {
+        return Vec::new();
+    }
+    let resolve = |addr: Addr| {
+        let obj = heap.object_containing(addr)?;
+        let ok = match policy {
+            PointerPolicy::AllInterior => true,
+            PointerPolicy::FirstPage => addr.offset_from(obj.base) < PAGE_BYTES,
+            PointerPolicy::BaseOnly => addr == obj.base,
+        };
+        ok.then_some(obj)
+    };
+
+    // Reverse edges between live objects.
+    let endian = space.endian();
+    let mut preds: HashMap<Addr, Vec<Addr>> = HashMap::new();
+    for obj in heap.live_objects() {
+        if obj.kind != ObjectKind::Composite || obj.bytes < 4 {
+            continue;
+        }
+        let bytes = space.bytes_at(obj.base, obj.bytes).expect("live object is mapped");
+        for off in (0..=bytes.len() - 4).step_by(stride as usize) {
+            let value = endian.read_u32(&bytes[off..off + 4]);
+            if let Some(dest) = resolve(Addr::new(value)) {
+                preds.entry(dest.base).or_default().push(obj.base);
+            }
+        }
+    }
+
+    // Reverse BFS: every object from which some target is reachable, mapped
+    // to (one of) the target(s) it reaches.
+    let mut reaches: HashMap<Addr, Addr> = HashMap::new();
+    let mut queue: VecDeque<Addr> = VecDeque::new();
+    for &t in &target_set {
+        reaches.insert(t, t);
+        queue.push_back(t);
+    }
+    while let Some(obj) = queue.pop_front() {
+        let target = reaches[&obj];
+        if let Some(ps) = preds.get(&obj) {
+            for &p in ps {
+                if !reaches.contains_key(&p) {
+                    reaches.insert(p, target);
+                    queue.push_back(p);
+                }
+            }
+        }
+    }
+
+    // Root scan: report words resolving into the reaching set. Honour each
+    // segment's effective scan range (e.g. only the live part of a stack).
+    let mut out = Vec::new();
+    for seg in space.roots() {
+        let (lo, end) = seg.scan_range();
+        let from = (lo - seg.base()) as usize;
+        let to = (end - u64::from(seg.base().raw())) as usize;
+        let bytes = &seg.bytes()[from..to];
+        if bytes.len() < 4 {
+            continue;
+        }
+        let misalign = (lo.raw() % stride) as usize;
+        let start = ((stride as usize) - misalign) % stride as usize;
+        if start > bytes.len() - 4 {
+            continue;
+        }
+        for off in (start..=bytes.len() - 4).step_by(stride as usize) {
+            let value = endian.read_u32(&bytes[off..off + 4]);
+            if let Some(obj) = resolve(Addr::new(value)) {
+                if let Some(&target) = reaches.get(&obj.base) {
+                    out.push(Retainer {
+                        root_addr: lo + off as u32,
+                        segment: seg.name().to_owned(),
+                        class: RootClass::of_segment(seg.kind()),
+                        value,
+                        pins: obj.base,
+                        target,
+                    });
+                }
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,336 @@
+//! Property-based tests for the collector's core invariants.
+//!
+//! These check the contract of figure 2 over randomly generated object
+//! graphs and root placements:
+//!
+//! 1. **Soundness** — every object transitively reachable from scanned
+//!    roots survives collection (a collector that frees reachable memory is
+//!    broken, full stop).
+//! 2. **Precision without pollution** — with clean roots (only real
+//!    pointers, no junk), exactly the reachable objects survive.
+//! 3. **Blacklist completeness** — every invalid candidate observed in the
+//!    heap's vicinity lands on the blacklist, and no composite allocation is
+//!    ever placed on a blacklisted page.
+
+use gc_core::{Collector, GcConfig, PointerPolicy};
+use gc_heap::{HeapConfig, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec, PAGE_BYTES};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+const DATA_BASE: u32 = 0x1_0000;
+const DATA_WORDS: u32 = 256;
+
+fn collector(policy: PointerPolicy, blacklisting: bool) -> Collector {
+    let mut space = AddressSpace::new(Endian::Big);
+    space
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(DATA_BASE),
+            DATA_WORDS * 4,
+        ))
+        .unwrap();
+    let config = GcConfig {
+        heap: HeapConfig {
+            heap_base: Addr::new(0x20_0000),
+            max_heap_bytes: 8 << 20,
+            growth_pages: 16,
+            ..HeapConfig::default()
+        },
+        pointer_policy: policy,
+        blacklisting,
+        // Keep collections explicit so the test controls liveness windows.
+        min_bytes_between_gcs: u64::MAX,
+        ..GcConfig::default()
+    };
+    Collector::new(space, config)
+}
+
+/// A random object graph: N objects of 2 field words each, random edges,
+/// random subset of objects rooted.
+#[derive(Debug, Clone)]
+struct GraphSpec {
+    nobjects: usize,
+    edges: Vec<(usize, usize, u8)>, // (from, to, field 0/1)
+    roots: Vec<usize>,
+}
+
+fn arb_graph() -> impl Strategy<Value = GraphSpec> {
+    (2usize..40).prop_flat_map(|n| {
+        (
+            proptest::collection::vec((0..n, 0..n, 0u8..2), 0..n * 2),
+            proptest::collection::vec(0..n, 0..5),
+        )
+            .prop_map(move |(edges, roots)| GraphSpec { nobjects: n, edges, roots })
+    })
+}
+
+fn reachable(spec: &GraphSpec) -> HashSet<usize> {
+    // Later writes to the same (object, field) overwrite earlier ones, so
+    // only the final value of each field is an edge.
+    let mut fields: std::collections::HashMap<(usize, u8), usize> =
+        std::collections::HashMap::new();
+    for &(f, t, field) in &spec.edges {
+        fields.insert((f, field), t);
+    }
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = spec.roots.clone();
+    while let Some(i) = stack.pop() {
+        if seen.insert(i) {
+            for field in 0..2u8 {
+                if let Some(&t) = fields.get(&(i, field)) {
+                    if !seen.contains(&t) {
+                        stack.push(t);
+                    }
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn build(gc: &mut Collector, spec: &GraphSpec) -> Vec<Addr> {
+    let objs: Vec<Addr> =
+        (0..spec.nobjects).map(|_| gc.alloc(8, ObjectKind::Composite).unwrap()).collect();
+    for &(f, t, field) in &spec.edges {
+        gc.space_mut().write_u32(objs[f] + u32::from(field) * 4, objs[t].raw()).unwrap();
+    }
+    for (i, &r) in spec.roots.iter().enumerate() {
+        gc.space_mut()
+            .write_u32(Addr::new(DATA_BASE) + (i as u32) * 4, objs[r].raw())
+            .unwrap();
+    }
+    objs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Soundness + precision for clean roots: exactly the reachable objects
+    /// survive, under every pointer policy.
+    #[test]
+    fn exactly_reachable_survive(spec in arb_graph(), policy_i in 0usize..3) {
+        let policy = [PointerPolicy::AllInterior, PointerPolicy::FirstPage, PointerPolicy::BaseOnly][policy_i];
+        let mut gc = collector(policy, true);
+        let objs = build(&mut gc, &spec);
+        gc.collect();
+        let expect = reachable(&spec);
+        for (i, &obj) in objs.iter().enumerate() {
+            prop_assert_eq!(
+                gc.is_live(obj),
+                expect.contains(&i),
+                "object {} (of {}), policy {}", i, spec.nobjects, policy
+            );
+        }
+    }
+
+    /// Reachable objects always survive even when the roots additionally
+    /// contain arbitrary junk words (conservatism may retain more, never
+    /// less).
+    #[test]
+    fn junk_never_causes_reclamation_of_reachable(
+        spec in arb_graph(),
+        junk in proptest::collection::vec(any::<u32>(), 0..64),
+        blacklisting: bool,
+    ) {
+        let mut gc = collector(PointerPolicy::AllInterior, blacklisting);
+        let objs = build(&mut gc, &spec);
+        // Junk goes after the root slots.
+        for (i, &j) in junk.iter().enumerate() {
+            let slot = Addr::new(DATA_BASE) + (64 + i as u32) * 4;
+            gc.space_mut().write_u32(slot, j).unwrap();
+        }
+        gc.collect();
+        for i in reachable(&spec) {
+            prop_assert!(gc.is_live(objs[i]), "reachable object {i} was reclaimed");
+        }
+    }
+
+    /// Every invalid candidate in the vicinity is blacklisted, and no
+    /// composite object is ever allocated on a blacklisted page.
+    #[test]
+    fn blacklist_is_respected_by_allocation(
+        junk_pages in proptest::collection::vec(0u32..128, 1..10),
+        allocs in 1usize..200,
+    ) {
+        let mut gc = collector(PointerPolicy::AllInterior, true);
+        let heap_base = 0x20_0000u32;
+        for (i, &p) in junk_pages.iter().enumerate() {
+            let fake = heap_base + p * PAGE_BYTES + 8;
+            gc.space_mut().write_u32(Addr::new(DATA_BASE) + (i as u32) * 4, fake).unwrap();
+        }
+        gc.start();
+        for &p in &junk_pages {
+            let page = Addr::new(heap_base + p * PAGE_BYTES).page();
+            prop_assert!(gc.blacklist().contains(page), "page +{p} not blacklisted");
+        }
+        for _ in 0..allocs {
+            let a = gc.alloc(8, ObjectKind::Composite).unwrap();
+            prop_assert!(!gc.blacklist().contains(a.page()),
+                "composite object at {a} on a blacklisted page");
+        }
+    }
+
+    /// Explicit `collect` is idempotent when the mutator does nothing in
+    /// between: the second collection frees nothing.
+    #[test]
+    fn quiescent_collection_is_idempotent(spec in arb_graph()) {
+        let mut gc = collector(PointerPolicy::AllInterior, true);
+        build(&mut gc, &spec);
+        gc.collect();
+        let live_after_first: Vec<Addr> =
+            gc.heap().live_objects().map(|o| o.base).collect();
+        let second = gc.collect();
+        prop_assert_eq!(second.sweep.objects_freed, 0);
+        let live_after_second: Vec<Addr> =
+            gc.heap().live_objects().map(|o| o.base).collect();
+        prop_assert_eq!(live_after_first, live_after_second);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The hashed blacklist is a conservative approximation of the exact
+    /// one: every page the exact store blacklists, the hashed store (of
+    /// any size) also reports blacklisted.
+    #[test]
+    fn hashed_blacklist_is_superset_of_exact(
+        pages in proptest::collection::vec(0u32..(1 << 20), 1..64),
+        bits in 6u8..16,
+    ) {
+        use gc_core::{Blacklist, BlacklistKind, RootClass};
+        use gc_vmspace::PageIdx;
+        let mut exact = Blacklist::new(BlacklistKind::Exact, 2);
+        let mut hashed = Blacklist::new(BlacklistKind::Hashed { bits }, 2);
+        exact.begin_cycle(1);
+        hashed.begin_cycle(1);
+        for &p in &pages {
+            exact.note_false_ref(PageIdx::new(p), RootClass::Static);
+            hashed.note_false_ref(PageIdx::new(p), RootClass::Static);
+        }
+        exact.end_cycle();
+        hashed.end_cycle();
+        for &p in &pages {
+            prop_assert!(exact.contains(PageIdx::new(p)));
+            prop_assert!(hashed.contains(PageIdx::new(p)), "hashed missed page {p}");
+        }
+        prop_assert!(hashed.len() <= exact.len().max(1) * 64,
+            "hashed table bit count stays bounded");
+    }
+
+    /// Collection is monotone in roots: adding one more rooted object can
+    /// never reduce the surviving set.
+    #[test]
+    fn marking_is_monotone_in_roots(spec in arb_graph(), extra in 0usize..40) {
+        let build_and_collect = |with_extra: bool| -> Vec<u32> {
+            let mut gc = collector(PointerPolicy::AllInterior, true);
+            let objs = build(&mut gc, &spec);
+            if with_extra && !objs.is_empty() {
+                let target = objs[extra % objs.len()];
+                gc.space_mut()
+                    .write_u32(Addr::new(DATA_BASE) + 40, target.raw())
+                    .unwrap();
+            }
+            gc.collect();
+            let mut live: Vec<u32> =
+                gc.heap().live_objects().map(|o| o.base.raw()).collect();
+            live.sort_unstable();
+            live
+        };
+        let base = build_and_collect(false);
+        let more = build_and_collect(true);
+        for b in &base {
+            prop_assert!(more.binary_search(b).is_ok(),
+                "adding a root lost object {b:#x}");
+        }
+    }
+}
+
+/// Builds the same graph in a collector with the given config tweaks.
+fn collector_with(tweak: impl FnOnce(&mut GcConfig)) -> Collector {
+    let mut space = AddressSpace::new(Endian::Big);
+    space
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(DATA_BASE),
+            DATA_WORDS * 4,
+        ))
+        .unwrap();
+    let mut config = GcConfig {
+        heap: HeapConfig {
+            heap_base: Addr::new(0x20_0000),
+            max_heap_bytes: 8 << 20,
+            growth_pages: 16,
+            ..HeapConfig::default()
+        },
+        min_bytes_between_gcs: u64::MAX,
+        ..GcConfig::default()
+    };
+    tweak(&mut config);
+    Collector::new(space, config)
+}
+
+fn live_set(gc: &Collector) -> Vec<u32> {
+    let mut v: Vec<u32> = gc.heap().live_objects().map(|o| o.base.raw()).collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// An incremental cycle (any budget) computes exactly the same live
+    /// set as a stop-the-world collection of the identical heap.
+    #[test]
+    fn incremental_equals_stop_world(spec in arb_graph(), budget in 1u32..64) {
+        let mut stop = collector_with(|_| {});
+        build(&mut stop, &spec);
+        stop.collect();
+        let expect = live_set(&stop);
+
+        let mut inc = collector_with(|c| {
+            c.incremental = true;
+            c.incremental_budget = budget;
+        });
+        build(&mut inc, &spec);
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            prop_assert!(steps < 100_000, "incremental cycle terminates");
+            if inc
+                .collect_increment(gc_core::CollectReason::Explicit)
+                .is_some()
+            {
+                break;
+            }
+        }
+        prop_assert_eq!(live_set(&inc), expect, "same graph, same survivors");
+    }
+
+    /// With a quiescent mutator, a minor collection followed by a full one
+    /// leaves exactly the stop-the-world live set (sticky mark bits may
+    /// defer reclamation of tenured garbage, never change the fixpoint).
+    #[test]
+    fn generational_fixpoint_equals_stop_world(spec in arb_graph()) {
+        let mut stop = collector_with(|_| {});
+        build(&mut stop, &spec);
+        stop.collect();
+        let expect = live_set(&stop);
+
+        let mut gen = collector_with(|c| c.generational = true);
+        build(&mut gen, &spec);
+        gen.collect_minor();
+        // The minor collection may only over-approximate (old objects are
+        // assumed live), never under-approximate.
+        let after_minor = live_set(&gen);
+        for b in &expect {
+            prop_assert!(after_minor.binary_search(b).is_ok(),
+                "minor collection lost reachable object {b:#x}");
+        }
+        gen.collect();
+        prop_assert_eq!(live_set(&gen), expect);
+    }
+}

@@ -1,0 +1,157 @@
+//! Compact fixed-size bitmaps used for per-object mark and allocation bits.
+
+use std::fmt;
+
+/// A fixed-length bitmap.
+///
+/// One bit per object slot in a heap block, in the style of bdwgc's per-block
+/// mark bit arrays. Bits are indexed from 0.
+///
+/// # Example
+///
+/// ```
+/// use gc_heap::Bitmap;
+/// let mut b = Bitmap::new(100);
+/// b.set(3);
+/// assert!(b.get(3));
+/// assert_eq!(b.count_ones(), 1);
+/// b.clear_all();
+/// assert_eq!(b.count_ones(), 0);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    nbits: u32,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `nbits` bits, all zero.
+    pub fn new(nbits: u32) -> Self {
+        Bitmap {
+            words: vec![0; nbits.div_ceil(64) as usize],
+            nbits,
+        }
+    }
+
+    /// Number of bits in the map.
+    pub fn len(&self) -> u32 {
+        self.nbits
+    }
+
+    /// Returns `true` if the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.nbits == 0
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Sets bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn set(&mut self, i: u32) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[(i / 64) as usize] |= 1 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn clear(&mut self, i: u32) {
+        assert!(i < self.nbits, "bit index {i} out of range {}", self.nbits);
+        self.words[(i / 64) as usize] &= !(1 << (i % 64));
+    }
+
+    /// Clears every bit.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterates over the indices of set bits in increasing order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.nbits).filter(move |&i| self.get(i))
+    }
+
+    /// Iterates over the indices of clear bits in increasing order.
+    pub fn iter_zeros(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.nbits).filter(move |&i| !self.get(i))
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap({}/{} set)", self.count_ones(), self.nbits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = Bitmap::new(130);
+        for i in [0, 63, 64, 65, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 5);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 4);
+    }
+
+    #[test]
+    fn iteration() {
+        let mut b = Bitmap::new(10);
+        b.set(1);
+        b.set(7);
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![1, 7]);
+        assert_eq!(b.iter_zeros().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Bitmap::new(8).get(8);
+    }
+
+    #[test]
+    fn empty_bitmap() {
+        let b = Bitmap::new(0);
+        assert!(b.is_empty());
+        assert_eq!(b.count_ones(), 0);
+        assert_eq!(b.iter_ones().count(), 0);
+    }
+
+    #[test]
+    fn clear_all_resets() {
+        let mut b = Bitmap::new(200);
+        for i in 0..200 {
+            b.set(i);
+        }
+        assert_eq!(b.count_ones(), 200);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+}

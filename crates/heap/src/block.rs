@@ -1,0 +1,283 @@
+//! Heap blocks and object references.
+//!
+//! A *block* is a run of whole pages dedicated either to small objects of a
+//! single size class and kind, or to one large object. Block metadata
+//! (headers, mark bits, allocation bits) is kept out-of-band in Rust data —
+//! the analogue of bdwgc's separate header map — so the simulated heap bytes
+//! are exactly what the mutator wrote.
+
+use crate::{Bitmap, SizeClass, GRANULE_BYTES};
+use gc_vmspace::{Addr, PAGE_BYTES};
+use std::fmt;
+
+/// Identifier of a live [`Block`]. Ids are never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct BlockId(pub(crate) u32);
+
+impl BlockId {
+    /// Raw index of this block id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "blk#{}", self.0)
+    }
+}
+
+/// Whether objects in a block may contain pointers.
+///
+/// The paper stresses that the allocator must let clients state that an
+/// object contains no pointers ("compressed bitmaps introduce false pointers
+/// with excessively high probability", §2), and that *blacklisted pages may
+/// still serve small pointer-free objects* (§3, observation 6).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum ObjectKind {
+    /// May contain pointers anywhere; scanned conservatively word by word.
+    #[default]
+    Composite,
+    /// Guaranteed pointer-free (the `GC_malloc_atomic` analogue); never
+    /// scanned.
+    Atomic,
+}
+
+impl fmt::Display for ObjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectKind::Composite => f.write_str("composite"),
+            ObjectKind::Atomic => f.write_str("atomic"),
+        }
+    }
+}
+
+/// The shape of a block: many small slots or one large object.
+#[derive(Clone, Debug)]
+pub enum BlockShape {
+    /// One page holding `class.objects_per_page()` slots of one size class.
+    Small {
+        /// The size class of every slot in the block.
+        class: SizeClass,
+    },
+    /// `npages` contiguous pages holding a single object.
+    Large {
+        /// Exact object size in bytes (granule-rounded, ≤ npages·4096).
+        obj_bytes: u32,
+    },
+}
+
+/// A live heap block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pub(crate) id: BlockId,
+    pub(crate) base: Addr,
+    pub(crate) npages: u32,
+    pub(crate) shape: BlockShape,
+    pub(crate) kind: ObjectKind,
+    pub(crate) allocated: Bitmap,
+    pub(crate) marked: Bitmap,
+    /// Generation bits for the sticky-mark-bit generational mode (one per
+    /// slot): objects that survived a collection are *old*; minor
+    /// collections treat them as immortal roots and sweep only the young.
+    pub(crate) old: Bitmap,
+}
+
+impl Block {
+    pub(crate) fn new_small(id: BlockId, base: Addr, class: SizeClass, kind: ObjectKind) -> Self {
+        let n = class.objects_per_page();
+        Block {
+            id,
+            base,
+            npages: 1,
+            shape: BlockShape::Small { class },
+            kind,
+            allocated: Bitmap::new(n),
+            marked: Bitmap::new(n),
+            old: Bitmap::new(n),
+        }
+    }
+
+    pub(crate) fn new_large(id: BlockId, base: Addr, bytes: u32, kind: ObjectKind) -> Self {
+        let obj_bytes = bytes.div_ceil(GRANULE_BYTES) * GRANULE_BYTES;
+        Block {
+            id,
+            base,
+            npages: obj_bytes.div_ceil(PAGE_BYTES),
+            shape: BlockShape::Large { obj_bytes },
+            kind,
+            allocated: Bitmap::new(1),
+            marked: Bitmap::new(1),
+            old: Bitmap::new(1),
+        }
+    }
+
+    /// The block's identifier.
+    pub fn id(&self) -> BlockId {
+        self.id
+    }
+
+    /// Lowest address of the block.
+    pub fn base(&self) -> Addr {
+        self.base
+    }
+
+    /// Number of pages the block spans.
+    pub fn npages(&self) -> u32 {
+        self.npages
+    }
+
+    /// Whether the block's objects may contain pointers.
+    pub fn kind(&self) -> ObjectKind {
+        self.kind
+    }
+
+    /// The block's shape.
+    pub fn shape(&self) -> &BlockShape {
+        &self.shape
+    }
+
+    /// Object size in bytes for every slot of this block.
+    pub fn obj_bytes(&self) -> u32 {
+        match self.shape {
+            BlockShape::Small { class } => class.bytes(),
+            BlockShape::Large { obj_bytes } => obj_bytes,
+        }
+    }
+
+    /// Number of object slots in the block.
+    pub fn slots(&self) -> u32 {
+        match self.shape {
+            BlockShape::Small { class } => class.objects_per_page(),
+            BlockShape::Large { .. } => 1,
+        }
+    }
+
+    /// Number of live (allocated) objects in the block.
+    pub fn live_objects(&self) -> u32 {
+        self.allocated.count_ones()
+    }
+
+    /// Base address of slot `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= slots()`.
+    pub fn slot_base(&self, index: u32) -> Addr {
+        assert!(index < self.slots(), "slot index out of range");
+        self.base + index * self.obj_bytes()
+    }
+
+    /// Maps an address to the slot whose extent contains it, if any.
+    ///
+    /// Returns `None` for addresses in the block's trailing waste (the
+    /// unused remainder when the object size does not divide the page) or
+    /// past a large object's granule-rounded end.
+    pub fn slot_containing(&self, addr: Addr) -> Option<u32> {
+        if addr < self.base {
+            return None;
+        }
+        let off = addr - self.base;
+        match self.shape {
+            BlockShape::Small { class } => {
+                let idx = off / class.bytes();
+                (idx < class.objects_per_page()).then_some(idx)
+            }
+            BlockShape::Large { obj_bytes } => (off < obj_bytes).then_some(0),
+        }
+    }
+
+    /// Is slot `index` currently allocated?
+    pub fn is_allocated(&self, index: u32) -> bool {
+        self.allocated.get(index)
+    }
+
+    /// Is slot `index` marked?
+    pub fn is_marked(&self, index: u32) -> bool {
+        self.marked.get(index)
+    }
+
+    /// Is slot `index` in the old generation?
+    pub fn is_old(&self, index: u32) -> bool {
+        self.old.get(index)
+    }
+
+    /// Returns `true` if the block contains no live objects.
+    pub fn is_unused(&self) -> bool {
+        self.allocated.count_ones() == 0
+    }
+}
+
+/// A resolved reference to a live heap object.
+///
+/// Produced by [`Heap::object_containing`](crate::Heap::object_containing);
+/// carries everything the collector's mark phase needs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct ObjRef {
+    /// Block holding the object.
+    pub block: BlockId,
+    /// Slot index within the block.
+    pub index: u32,
+    /// Base address of the object.
+    pub base: Addr,
+    /// Object size in bytes.
+    pub bytes: u32,
+    /// Whether the object may contain pointers.
+    pub kind: ObjectKind,
+}
+
+impl fmt::Display for ObjRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj {}+{}B in {}", self.base, self.bytes, self.block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_block_slot_math() {
+        let class = SizeClass::for_bytes(12).unwrap();
+        let b = Block::new_small(BlockId(0), Addr::new(0x10000), class, ObjectKind::Composite);
+        assert_eq!(b.slots(), 341);
+        assert_eq!(b.slot_base(0), Addr::new(0x10000));
+        assert_eq!(b.slot_base(2), Addr::new(0x10018));
+        assert_eq!(b.slot_containing(Addr::new(0x10000)), Some(0));
+        assert_eq!(b.slot_containing(Addr::new(0x10017)), Some(1));
+        // Trailing waste: 341 * 12 = 4092, bytes 4092..4096 belong to no slot.
+        assert_eq!(b.slot_containing(Addr::new(0x10000 + 4092)), None);
+        assert_eq!(b.slot_containing(Addr::new(0xffff)), None);
+    }
+
+    #[test]
+    fn large_block_slot_math() {
+        let b = Block::new_large(BlockId(1), Addr::new(0x20000), 10_000, ObjectKind::Atomic);
+        assert_eq!(b.npages(), 3);
+        assert_eq!(b.obj_bytes(), 10_000);
+        assert_eq!(b.slots(), 1);
+        assert_eq!(b.slot_containing(Addr::new(0x20000)), Some(0));
+        assert_eq!(b.slot_containing(Addr::new(0x20000 + 9_999)), Some(0));
+        // Granule-rounded end: past the object, inside the last page.
+        assert_eq!(b.slot_containing(Addr::new(0x20000 + 10_000)), None);
+    }
+
+    #[test]
+    fn large_block_rounds_to_granule() {
+        let b = Block::new_large(BlockId(2), Addr::new(0x30000), 10, ObjectKind::Composite);
+        assert_eq!(b.obj_bytes(), 12);
+        assert_eq!(b.npages(), 1);
+    }
+
+    #[test]
+    fn unused_tracking() {
+        let class = SizeClass::for_bytes(8).unwrap();
+        let mut b = Block::new_small(BlockId(0), Addr::new(0), class, ObjectKind::Composite);
+        assert!(b.is_unused());
+        b.allocated.set(5);
+        assert!(!b.is_unused());
+        assert_eq!(b.live_objects(), 1);
+        assert!(b.is_allocated(5));
+        assert!(!b.is_marked(5));
+    }
+}

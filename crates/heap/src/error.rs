@@ -1,0 +1,86 @@
+//! Error type for heap operations.
+
+use gc_vmspace::{Addr, VmError};
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by heap allocation or explicit deallocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum HeapError {
+    /// The request could not be satisfied within the configured heap limit.
+    ///
+    /// `usable_denied` reports how many candidate pages were rejected by the
+    /// placement predicate (i.e. the blacklist) while searching — the
+    /// signal behind observation 7 of the paper (large objects become hard
+    /// to place when all interior pointers are considered valid).
+    OutOfMemory {
+        /// Requested allocation size in bytes.
+        requested: u32,
+        /// Candidate pages rejected by the placement predicate during the
+        /// failed search.
+        pages_denied: u32,
+    },
+    /// `free` was called with an address that is not the base of a live
+    /// allocated object.
+    NotAnObject {
+        /// The offending address.
+        addr: Addr,
+    },
+    /// `free` was called twice for the same object.
+    DoubleFree {
+        /// The object base address.
+        addr: Addr,
+    },
+    /// The underlying simulated memory faulted.
+    Vm(VmError),
+    /// A zero-sized allocation was requested.
+    ZeroSized,
+}
+
+impl fmt::Display for HeapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            HeapError::OutOfMemory { requested, pages_denied } => write!(
+                f,
+                "out of heap memory allocating {requested} bytes ({pages_denied} candidate pages denied by placement predicate)"
+            ),
+            HeapError::NotAnObject { addr } => {
+                write!(f, "{addr} is not the base of a live object")
+            }
+            HeapError::DoubleFree { addr } => write!(f, "double free of object at {addr}"),
+            HeapError::Vm(e) => write!(f, "simulated memory fault: {e}"),
+            HeapError::ZeroSized => f.write_str("zero-sized allocation requested"),
+        }
+    }
+}
+
+impl Error for HeapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeapError::Vm(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<VmError> for HeapError {
+    fn from(e: VmError) -> Self {
+        HeapError::Vm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HeapError::OutOfMemory { requested: 64, pages_denied: 3 };
+        assert!(e.to_string().contains("64 bytes"));
+        assert!(e.to_string().contains("3 candidate pages"));
+        let e = HeapError::from(VmError::Unmapped { addr: Addr::new(4) });
+        assert!(e.source().is_some());
+        assert_eq!(HeapError::ZeroSized.to_string(), "zero-sized allocation requested");
+    }
+}

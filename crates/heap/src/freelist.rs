@@ -1,0 +1,154 @@
+//! Object free lists with pluggable ordering policy.
+//!
+//! The paper's conclusion argues that a conservative collector gains a space
+//! advantage over typical `malloc` implementations because "it is usually
+//! much less expensive to keep free lists sorted by address", improving
+//! locality of reallocation and the chance of coalescing. Both policies are
+//! implemented so the fragmentation experiment (EXPERIMENTS.md, C1) can
+//! compare them.
+
+use gc_vmspace::Addr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Ordering policy for object free lists.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum FreeListPolicy {
+    /// Pop the lowest-addressed free slot first (the paper's recommended
+    /// policy for reduced fragmentation).
+    #[default]
+    AddressOrdered,
+    /// Pop the most recently freed slot first (typical `malloc` behaviour).
+    Lifo,
+}
+
+impl fmt::Display for FreeListPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FreeListPolicy::AddressOrdered => f.write_str("address-ordered"),
+            FreeListPolicy::Lifo => f.write_str("LIFO"),
+        }
+    }
+}
+
+/// A free list of object slots for one (size class, kind) pair.
+#[derive(Clone, Debug)]
+pub enum FreeList {
+    /// Address-ordered storage.
+    AddressOrdered(BTreeSet<Addr>),
+    /// LIFO stack storage.
+    Lifo(Vec<Addr>),
+}
+
+impl FreeList {
+    /// Creates an empty free list with the given policy.
+    pub fn new(policy: FreeListPolicy) -> Self {
+        match policy {
+            FreeListPolicy::AddressOrdered => FreeList::AddressOrdered(BTreeSet::new()),
+            FreeListPolicy::Lifo => FreeList::Lifo(Vec::new()),
+        }
+    }
+
+    /// Adds a free slot.
+    pub fn push(&mut self, addr: Addr) {
+        match self {
+            FreeList::AddressOrdered(set) => {
+                set.insert(addr);
+            }
+            FreeList::Lifo(v) => v.push(addr),
+        }
+    }
+
+    /// Removes and returns the next slot per policy, or `None` if empty.
+    pub fn pop(&mut self) -> Option<Addr> {
+        match self {
+            FreeList::AddressOrdered(set) => set.pop_first(),
+            FreeList::Lifo(v) => v.pop(),
+        }
+    }
+
+    /// Number of free slots.
+    pub fn len(&self) -> usize {
+        match self {
+            FreeList::AddressOrdered(set) => set.len(),
+            FreeList::Lifo(v) => v.len(),
+        }
+    }
+
+    /// Returns `true` if there are no free slots.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every slot in `[lo, hi)`, e.g. when a block is released.
+    pub fn retain_outside(&mut self, lo: Addr, hi: Addr) {
+        match self {
+            FreeList::AddressOrdered(set) => {
+                set.retain(|&a| a < lo || a >= hi);
+            }
+            FreeList::Lifo(v) => v.retain(|&a| a < lo || a >= hi),
+        }
+    }
+
+    /// Removes all slots.
+    pub fn clear(&mut self) {
+        match self {
+            FreeList::AddressOrdered(set) => set.clear(),
+            FreeList::Lifo(v) => v.clear(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn address_ordered_pops_lowest() {
+        let mut fl = FreeList::new(FreeListPolicy::AddressOrdered);
+        fl.push(Addr::new(0x300));
+        fl.push(Addr::new(0x100));
+        fl.push(Addr::new(0x200));
+        assert_eq!(fl.pop(), Some(Addr::new(0x100)));
+        assert_eq!(fl.pop(), Some(Addr::new(0x200)));
+        assert_eq!(fl.pop(), Some(Addr::new(0x300)));
+        assert_eq!(fl.pop(), None);
+    }
+
+    #[test]
+    fn lifo_pops_most_recent() {
+        let mut fl = FreeList::new(FreeListPolicy::Lifo);
+        fl.push(Addr::new(0x100));
+        fl.push(Addr::new(0x300));
+        assert_eq!(fl.pop(), Some(Addr::new(0x300)));
+        assert_eq!(fl.pop(), Some(Addr::new(0x100)));
+    }
+
+    #[test]
+    fn retain_outside_purges_released_block() {
+        for policy in [FreeListPolicy::AddressOrdered, FreeListPolicy::Lifo] {
+            let mut fl = FreeList::new(policy);
+            for a in [0x0fff, 0x1000, 0x1ffc, 0x2000] {
+                fl.push(Addr::new(a));
+            }
+            fl.retain_outside(Addr::new(0x1000), Addr::new(0x2000));
+            assert_eq!(fl.len(), 2);
+            let mut rest = Vec::new();
+            while let Some(a) = fl.pop() {
+                rest.push(a.raw());
+            }
+            rest.sort_unstable();
+            assert_eq!(rest, vec![0x0fff, 0x2000]);
+        }
+    }
+
+    #[test]
+    fn clear_and_len() {
+        let mut fl = FreeList::new(FreeListPolicy::AddressOrdered);
+        assert!(fl.is_empty());
+        fl.push(Addr::new(4));
+        assert_eq!(fl.len(), 1);
+        fl.clear();
+        assert!(fl.is_empty());
+    }
+}

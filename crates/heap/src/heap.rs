@@ -1,0 +1,1197 @@
+//! The page-level heap: block acquisition, object allocation, sweeping.
+
+use crate::{
+    Block, BlockId, BlockShape, FreeList, FreeListPolicy, HeapError, ObjRef, ObjectKind,
+    SizeClass, GRANULE_BYTES,
+};
+use gc_vmspace::{Addr, AddressSpace, PageIdx, SegmentKind, SegmentSpec, PAGE_BYTES};
+use std::collections::{BTreeMap, HashMap};
+
+/// Flat page-index → block-id map covering the whole 2^20-page space.
+#[derive(Debug)]
+struct PageMap {
+    slots: Vec<u32>,
+}
+
+impl PageMap {
+    const NONE: u32 = u32::MAX;
+
+    fn new() -> Self {
+        PageMap { slots: vec![Self::NONE; 1 << 20] }
+    }
+
+    #[inline]
+    fn get(&self, page: PageIdx) -> Option<BlockId> {
+        let v = self.slots[page.raw() as usize];
+        (v != Self::NONE).then_some(BlockId(v))
+    }
+
+    fn set(&mut self, page: PageIdx, id: BlockId) {
+        self.slots[page.raw() as usize] = id.0;
+    }
+
+    fn clear(&mut self, page: PageIdx) {
+        self.slots[page.raw() as usize] = Self::NONE;
+    }
+}
+
+/// How a candidate page would be used, passed to placement predicates.
+///
+/// The collector's blacklist rules differ by use (§3 of the paper): a
+/// blacklisted page may still hold small *pointer-free* objects; a large
+/// object must not *span* a blacklisted page when interior pointers are
+/// honoured, and must not *start* on one otherwise.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PageUse {
+    /// The page would become a small-object block of the given kind.
+    SmallBlock(ObjectKind),
+    /// The page would hold the first page of a large object.
+    LargeFirst(ObjectKind),
+    /// The page would hold a non-first page of a large object.
+    LargeBody(ObjectKind),
+}
+
+/// A placement predicate: may this page be used in this way?
+///
+/// The collector passes its blacklist here; `true` means the page is usable.
+pub type PagePredicate<'a> = &'a mut dyn FnMut(PageIdx, PageUse) -> bool;
+
+/// Configuration of the heap substrate.
+#[derive(Clone, Debug)]
+pub struct HeapConfig {
+    /// Address where the heap begins (like the post-BSS `sbrk` break).
+    pub heap_base: Addr,
+    /// Hard limit on mapped heap bytes.
+    pub max_heap_bytes: u64,
+    /// Expansion increment in pages; the paper notes blacklisting losses are
+    /// "dominated by the heap expansion increment" (observation 6).
+    pub growth_pages: u32,
+    /// Free-list ordering policy.
+    pub freelist_policy: FreeListPolicy,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            heap_base: Addr::new(0x0003_0000),
+            max_heap_bytes: 512 << 20,
+            growth_pages: 256,
+            freelist_policy: FreeListPolicy::AddressOrdered,
+        }
+    }
+}
+
+/// Statistics of one sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct SweepStats {
+    /// Bytes reclaimed.
+    pub bytes_freed: u64,
+    /// Objects reclaimed.
+    pub objects_freed: u64,
+    /// Whole blocks released back to the page pool.
+    pub blocks_released: u32,
+    /// Objects that survived (marked, or old during a young-only sweep).
+    pub objects_live: u64,
+    /// Bytes that survived.
+    pub bytes_live: u64,
+    /// Young objects promoted to the old generation by this sweep.
+    pub objects_promoted: u64,
+    /// Bytes promoted.
+    pub bytes_promoted: u64,
+}
+
+/// Aggregate heap statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct HeapStats {
+    /// Pages currently mapped as heap.
+    pub mapped_pages: u32,
+    /// Pages mapped but not part of any object block.
+    pub free_pages: u32,
+    /// Longest run of contiguous free pages.
+    pub largest_free_run: u32,
+    /// Live object bytes.
+    pub bytes_live: u64,
+    /// Cumulative bytes ever allocated.
+    pub bytes_allocated_total: u64,
+    /// Bytes allocated since the last collection.
+    pub bytes_since_collect: u64,
+    /// Number of live object blocks.
+    pub blocks: u32,
+}
+
+/// A layout descriptor for *typed* objects: which words may hold pointers.
+///
+/// The paper's introduction notes that implementations "vary greatly in
+/// their degree of conservativism. Some maintain complete information on
+/// the location of pointers in the heap, and only scan the stack
+/// conservatively" (Scheme→C, Cedar, KCL). A descriptor provides that
+/// complete information for one object layout; objects allocated with one
+/// are scanned exactly — their non-pointer words can never be
+/// misidentified.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Descriptor {
+    /// `word_is_pointer[i]` — may word `i` hold a pointer?
+    pub word_is_pointer: Vec<bool>,
+}
+
+impl Descriptor {
+    /// A descriptor with pointers at the given word offsets, `words` long.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an offset is out of range.
+    pub fn with_pointers_at(words: u32, offsets: &[u32]) -> Descriptor {
+        let mut word_is_pointer = vec![false; words as usize];
+        for &o in offsets {
+            word_is_pointer[o as usize] = true;
+        }
+        Descriptor { word_is_pointer }
+    }
+
+    /// The word offsets that may hold pointers.
+    pub fn pointer_offsets(&self) -> impl Iterator<Item = u32> + '_ {
+        self.word_is_pointer
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| i as u32)
+    }
+}
+
+/// Identifier of a registered [`Descriptor`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct DescriptorId(u32);
+
+/// The page-level heap substrate.
+///
+/// `Heap` owns all block metadata out-of-band and carves object blocks out
+/// of simulated heap pages mapped into an [`AddressSpace`]. It has no
+/// marking logic of its own — the collector drives it — but provides the
+/// object map ([`Heap::object_containing`]), mark bits, sweeping, and
+/// blacklist-aware block placement via [`PagePredicate`]s.
+#[derive(Debug)]
+pub struct Heap {
+    config: HeapConfig,
+    blocks: Vec<Option<Block>>,
+    /// Flat page → block map (4 MiB for the full 2^20-page space); flat
+    /// indexing keeps the mark phase's candidate lookups cheap.
+    page_map: PageMap,
+    /// Mapped, block-free page runs: first page index → run length, coalesced.
+    free_runs: BTreeMap<u32, u32>,
+    /// Pages a placement predicate rejected, parked off the free-run path
+    /// so repeated searches do not rescan them — the paper's footnote-3
+    /// fix ("blacklisted blocks were kept on a list of free pages
+    /// indefinitely, increasing the overhead of page-level allocation").
+    /// Atomic small-object acquisition may still draw from here
+    /// (observation 6); [`Heap::note_collection`] returns the rest to the
+    /// free runs, since blacklist entries age.
+    quarantined: Vec<u32>,
+    /// Free lists indexed by `class.index() * 2 + kind`.
+    free_lists: Vec<FreeList>,
+    next_expansion: Addr,
+    /// The most recent heap segment and its end, for contiguous in-place
+    /// extension (a multi-page object may span expansion increments, so
+    /// contiguous heap memory must live in one segment).
+    last_segment: Option<(gc_vmspace::SegmentId, Addr)>,
+    heap_lo: Option<Addr>,
+    heap_hi: Addr,
+    mapped_pages: u32,
+    bytes_live: u64,
+    bytes_allocated_total: u64,
+    bytes_since_collect: u64,
+    objects_allocated_total: u64,
+    descriptors: Vec<Descriptor>,
+    /// Object base address → descriptor, for typed objects only.
+    typed: HashMap<u32, DescriptorId>,
+}
+
+fn fl_index(class: SizeClass, kind: ObjectKind) -> usize {
+    class.index() * 2
+        + match kind {
+            ObjectKind::Composite => 0,
+            ObjectKind::Atomic => 1,
+        }
+}
+
+impl Heap {
+    /// Creates an empty heap with the given configuration.
+    pub fn new(config: HeapConfig) -> Self {
+        let heap_base = config.heap_base.align_up(PAGE_BYTES);
+        let free_lists = (0..SizeClass::COUNT * 2)
+            .map(|_| FreeList::new(config.freelist_policy))
+            .collect();
+        Heap {
+            next_expansion: heap_base,
+            last_segment: None,
+            heap_lo: None,
+            heap_hi: heap_base,
+            config,
+            blocks: Vec::new(),
+            page_map: PageMap::new(),
+            free_runs: BTreeMap::new(),
+            quarantined: Vec::new(),
+            free_lists,
+            mapped_pages: 0,
+            bytes_live: 0,
+            bytes_allocated_total: 0,
+            bytes_since_collect: 0,
+            objects_allocated_total: 0,
+            descriptors: Vec::new(),
+            typed: HashMap::new(),
+        }
+    }
+
+    /// Registers an object-layout descriptor for typed allocation.
+    pub fn register_descriptor(&mut self, descriptor: Descriptor) -> DescriptorId {
+        self.descriptors.push(descriptor);
+        DescriptorId(self.descriptors.len() as u32 - 1)
+    }
+
+    /// Allocates a typed object: scanned *exactly* via its descriptor
+    /// instead of conservatively word-by-word.
+    ///
+    /// # Errors
+    ///
+    /// As [`Heap::alloc`]; additionally the descriptor must cover the
+    /// object (`bytes >= 4 * descriptor words` is not required — extra
+    /// object words are treated as non-pointer).
+    pub fn alloc_typed(
+        &mut self,
+        space: &mut AddressSpace,
+        bytes: u32,
+        desc: DescriptorId,
+        pred: PagePredicate<'_>,
+    ) -> Result<Addr, HeapError> {
+        let addr = self.alloc(space, bytes, ObjectKind::Composite, pred)?;
+        self.typed.insert(addr.raw(), desc);
+        Ok(addr)
+    }
+
+    /// The descriptor of a typed object, if `base` was allocated typed.
+    pub fn descriptor_of(&self, base: Addr) -> Option<&Descriptor> {
+        let id = self.typed.get(&base.raw())?;
+        Some(&self.descriptors[id.0 as usize])
+    }
+
+    /// The heap configuration.
+    pub fn config(&self) -> &HeapConfig {
+        &self.config
+    }
+
+    /// Lowest mapped heap address, if any heap memory exists.
+    pub fn lo(&self) -> Option<Addr> {
+        self.heap_lo
+    }
+
+    /// One past the highest mapped heap address (equals the base before any
+    /// expansion).
+    pub fn hi(&self) -> Addr {
+        self.heap_hi
+    }
+
+    /// Returns `true` if `addr` is in the current heap address range
+    /// (mapped heap pages, including free runs).
+    pub fn in_heap_range(&self, addr: Addr) -> bool {
+        match self.heap_lo {
+            Some(lo) => addr >= lo && addr < self.heap_hi,
+            None => false,
+        }
+    }
+
+    /// Allocates an object of `bytes` bytes and `kind`, placing new blocks
+    /// only on pages accepted by `pred`.
+    ///
+    /// The predicate is consulted *only* when allocation from a new page
+    /// begins, exactly as in the paper ("the blacklist is only examined when
+    /// allocation from a new page is begun") — free-list hits bypass it.
+    ///
+    /// The returned object's memory is zeroed.
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::ZeroSized`] for `bytes == 0`;
+    /// [`HeapError::OutOfMemory`] if no acceptable placement exists within
+    /// the configured heap limit.
+    pub fn alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        bytes: u32,
+        kind: ObjectKind,
+        pred: PagePredicate<'_>,
+    ) -> Result<Addr, HeapError> {
+        if bytes == 0 {
+            return Err(HeapError::ZeroSized);
+        }
+        match SizeClass::for_bytes(bytes) {
+            Some(class) => self.alloc_small(space, class, kind, pred),
+            None => self.alloc_large(space, bytes, kind, pred),
+        }
+    }
+
+    fn alloc_small(
+        &mut self,
+        space: &mut AddressSpace,
+        class: SizeClass,
+        kind: ObjectKind,
+        pred: PagePredicate<'_>,
+    ) -> Result<Addr, HeapError> {
+        let fli = fl_index(class, kind);
+        if let Some(addr) = self.free_lists[fli].pop() {
+            return self.finish_alloc(space, addr, class.bytes());
+        }
+        let mut denied = 0u32;
+        // Quarantined (predicate-rejected) pages are still usable by small
+        // *atomic* blocks (observation 6's exemption); pointer-containing
+        // acquisitions never look at them again — that is the point of the
+        // quarantine.
+        let reclaimed = if kind == ObjectKind::Atomic {
+            self.quarantined
+                .iter()
+                .position(|&p| pred(PageIdx::new(p), PageUse::SmallBlock(kind)))
+        } else {
+            None
+        };
+        let page = if let Some(i) = reclaimed {
+            PageIdx::new(self.quarantined.swap_remove(i))
+        } else {
+            self.take_one_page(space, &mut |p| pred(p, PageUse::SmallBlock(kind)), &mut denied)?
+                .ok_or(HeapError::OutOfMemory {
+                    requested: class.bytes(),
+                    pages_denied: denied,
+                })?
+        };
+        let id = BlockId(self.blocks.len() as u32);
+        let block = Block::new_small(id, page.base(), class, kind);
+        self.page_map.set(page, id);
+        for slot in 1..block.slots() {
+            self.free_lists[fli].push(block.slot_base(slot));
+        }
+        let addr = block.slot_base(0);
+        self.blocks.push(Some(block));
+        self.finish_alloc(space, addr, class.bytes())
+    }
+
+    fn alloc_large(
+        &mut self,
+        space: &mut AddressSpace,
+        bytes: u32,
+        kind: ObjectKind,
+        pred: PagePredicate<'_>,
+    ) -> Result<Addr, HeapError> {
+        let obj_bytes = bytes.div_ceil(GRANULE_BYTES) * GRANULE_BYTES;
+        let npages = obj_bytes.div_ceil(PAGE_BYTES);
+        let mut denied = 0u32;
+        let mut check = |p: PageIdx, first: bool| {
+            let use_ = if first { PageUse::LargeFirst(kind) } else { PageUse::LargeBody(kind) };
+            pred(p, use_)
+        };
+        let first_page = self
+            .take_pages(space, npages, &mut check, &mut denied)?
+            .ok_or(HeapError::OutOfMemory { requested: bytes, pages_denied: denied })?;
+        let id = BlockId(self.blocks.len() as u32);
+        let block = Block::new_large(id, first_page.base(), obj_bytes, kind);
+        for i in 0..block.npages() {
+            self.page_map.set(PageIdx::new(first_page.raw() + i), id);
+        }
+        let addr = block.base();
+        self.blocks.push(Some(block));
+        self.finish_alloc(space, addr, obj_bytes)
+    }
+
+    fn finish_alloc(
+        &mut self,
+        space: &mut AddressSpace,
+        addr: Addr,
+        obj_bytes: u32,
+    ) -> Result<Addr, HeapError> {
+        let (block, slot) = self.slot_of(addr).expect("fresh allocation resolves to a slot");
+        let id = block.id();
+        let b = self.block_mut(id);
+        b.allocated.set(slot);
+        // Fresh objects are born young, whatever the slot's previous
+        // occupant was.
+        b.old.clear(slot);
+        space.fill(addr, obj_bytes, 0)?;
+        self.bytes_live += u64::from(obj_bytes);
+        self.bytes_allocated_total += u64::from(obj_bytes);
+        self.bytes_since_collect += u64::from(obj_bytes);
+        self.objects_allocated_total += 1;
+        Ok(addr)
+    }
+
+    /// Takes one acceptable page, parking rejected pages in the quarantine
+    /// so they are never rescanned on this path (the footnote-3 fix).
+    fn take_one_page(
+        &mut self,
+        space: &mut AddressSpace,
+        accept: &mut dyn FnMut(PageIdx) -> bool,
+        denied: &mut u32,
+    ) -> Result<Option<PageIdx>, HeapError> {
+        loop {
+            let Some((&run_start, _)) = self.free_runs.iter().next() else {
+                if !self.expand(space, 1)? {
+                    return Ok(None);
+                }
+                continue;
+            };
+            let page = PageIdx::new(run_start);
+            self.carve_run(page, 1);
+            if accept(page) {
+                return Ok(Some(page));
+            }
+            *denied += 1;
+            self.quarantined.push(page.raw());
+        }
+    }
+
+    /// Finds `npages` contiguous acceptable pages among free runs, expanding
+    /// the heap as needed. Returns `Ok(None)` when the heap limit is
+    /// exhausted without an acceptable window.
+    fn take_pages(
+        &mut self,
+        space: &mut AddressSpace,
+        npages: u32,
+        accept: &mut dyn FnMut(PageIdx, bool) -> bool,
+        denied: &mut u32,
+    ) -> Result<Option<PageIdx>, HeapError> {
+        loop {
+            if let Some(first) = self.search_free_runs(npages, accept, denied) {
+                self.carve_run(first, npages);
+                return Ok(Some(first));
+            }
+            if !self.expand(space, npages)? {
+                return Ok(None);
+            }
+        }
+    }
+
+    /// Scans the free runs for an acceptable window of `npages`.
+    fn search_free_runs(
+        &self,
+        npages: u32,
+        accept: &mut dyn FnMut(PageIdx, bool) -> bool,
+        denied: &mut u32,
+    ) -> Option<PageIdx> {
+        for (&run_start, &run_len) in &self.free_runs {
+            if run_len < npages {
+                continue;
+            }
+            let mut start = run_start;
+            'window: while start + npages <= run_start + run_len {
+                for i in 0..npages {
+                    if !accept(PageIdx::new(start + i), i == 0) {
+                        *denied += 1;
+                        // Restart the window past the rejected page.
+                        start += i + 1;
+                        continue 'window;
+                    }
+                }
+                return Some(PageIdx::new(start));
+            }
+        }
+        None
+    }
+
+    /// Removes `[first, first+npages)` from the free runs.
+    fn carve_run(&mut self, first: PageIdx, npages: u32) {
+        let (&run_start, &run_len) = self
+            .free_runs
+            .range(..=first.raw())
+            .next_back()
+            .expect("carved window lies in a free run");
+        assert!(
+            run_start <= first.raw() && first.raw() + npages <= run_start + run_len,
+            "carved window exceeds its free run"
+        );
+        self.free_runs.remove(&run_start);
+        if run_start < first.raw() {
+            self.free_runs.insert(run_start, first.raw() - run_start);
+        }
+        let tail_start = first.raw() + npages;
+        if tail_start < run_start + run_len {
+            self.free_runs.insert(tail_start, run_start + run_len - tail_start);
+        }
+    }
+
+    /// Returns pages to the free-run pool, coalescing with neighbours.
+    fn release_pages(&mut self, first: PageIdx, npages: u32) {
+        let mut start = first.raw();
+        let mut len = npages;
+        if let Some((&prev_start, &prev_len)) = self.free_runs.range(..start).next_back() {
+            if prev_start + prev_len == start {
+                self.free_runs.remove(&prev_start);
+                start = prev_start;
+                len += prev_len;
+            }
+        }
+        if let Some(&next_len) = self.free_runs.get(&(first.raw() + npages)) {
+            self.free_runs.remove(&(first.raw() + npages));
+            len += next_len;
+        }
+        self.free_runs.insert(start, len);
+    }
+
+    /// Maps one more expansion increment of heap pages. Returns `false`
+    /// when the heap limit has been reached.
+    fn expand(&mut self, space: &mut AddressSpace, min_pages: u32) -> Result<bool, HeapError> {
+        let limit_pages = (self.config.max_heap_bytes / u64::from(PAGE_BYTES)) as u32;
+        if self.mapped_pages >= limit_pages {
+            return Ok(false);
+        }
+        let want = min_pages.max(self.config.growth_pages).min(limit_pages - self.mapped_pages);
+        if want < min_pages {
+            return Ok(false);
+        }
+        // Find a gap: skip over any foreign segments sitting in the way.
+        let mut base = self.next_expansion.align_up(PAGE_BYTES);
+        loop {
+            let len = u64::from(want) * u64::from(PAGE_BYTES);
+            if u64::from(base.raw()) + len > 1 << 32 {
+                return Ok(false);
+            }
+            // Contiguous growth extends the previous heap segment in place,
+            // so objects may span expansion increments.
+            if let Some((seg, end)) = self.last_segment {
+                if end == base {
+                    match space.extend(seg, len as u32) {
+                        Ok(()) => {
+                            self.last_segment = Some((seg, base + len as u32));
+                            break;
+                        }
+                        Err(gc_vmspace::VmError::Overlap { .. }) => {
+                            // A foreign segment moved in right behind the
+                            // heap; fall through to the mapping path.
+                        }
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+            }
+            match space.map(SegmentSpec::new("heap", SegmentKind::Heap, base, len as u32)) {
+                Ok(seg) => {
+                    self.last_segment = Some((seg, base + len as u32));
+                    break;
+                }
+                Err(gc_vmspace::VmError::Overlap { .. }) => {
+                    // Jump past whichever segment occupies some page in the
+                    // window, then retry. Fall back to one page if the
+                    // occupant sits between our page-granular probes.
+                    let mut jumped = base + PAGE_BYTES;
+                    for i in 0..want {
+                        if let Some(seg) = space.find(base + i * PAGE_BYTES) {
+                            jumped = Addr::new(seg.end() as u32).align_up(PAGE_BYTES);
+                            break;
+                        }
+                    }
+                    base = jumped.max(base + PAGE_BYTES);
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        self.release_pages(base.page(), want);
+        self.mapped_pages += want;
+        self.heap_lo = Some(self.heap_lo.map_or(base, |lo| lo.min(base)));
+        let end = base + want * PAGE_BYTES;
+        self.heap_hi = self.heap_hi.max(end);
+        self.next_expansion = end;
+        Ok(true)
+    }
+
+    fn block_mut(&mut self, id: BlockId) -> &mut Block {
+        self.blocks[id.0 as usize].as_mut().expect("block is live")
+    }
+
+    /// The live block with the given id, if any.
+    pub fn block(&self, id: BlockId) -> Option<&Block> {
+        self.blocks.get(id.0 as usize)?.as_ref()
+    }
+
+    fn slot_of(&self, addr: Addr) -> Option<(&Block, u32)> {
+        let id = self.page_map.get(addr.page())?;
+        let block = self.block(id)?;
+        let slot = block.slot_containing(addr)?;
+        Some((block, slot))
+    }
+
+    /// Resolves an address to the live object whose extent contains it.
+    ///
+    /// This is the collector's "valid object address" test (fig. 2): any
+    /// interior address resolves; the caller applies its interior-pointer
+    /// policy using [`ObjRef::base`].
+    pub fn object_containing(&self, addr: Addr) -> Option<ObjRef> {
+        let (block, slot) = self.slot_of(addr)?;
+        if !block.is_allocated(slot) {
+            return None;
+        }
+        Some(ObjRef {
+            block: block.id(),
+            index: slot,
+            base: block.slot_base(slot),
+            bytes: block.obj_bytes(),
+            kind: block.kind(),
+        })
+    }
+
+    /// Returns `true` if `addr` is the base address of a live object.
+    pub fn is_object_base(&self, addr: Addr) -> bool {
+        self.object_containing(addr).is_some_and(|o| o.base == addr)
+    }
+
+    /// Returns the mark bit of an object.
+    pub fn is_marked(&self, obj: ObjRef) -> bool {
+        self.block(obj.block).is_some_and(|b| b.is_marked(obj.index))
+    }
+
+    /// Sets the mark bit of an object. Returns `true` if it was newly set.
+    pub fn set_marked(&mut self, obj: ObjRef) -> bool {
+        let block = self.block_mut(obj.block);
+        if block.marked.get(obj.index) {
+            false
+        } else {
+            block.marked.set(obj.index);
+            true
+        }
+    }
+
+    /// Clears every mark bit (start of a collection).
+    pub fn clear_marks(&mut self) {
+        for block in self.blocks.iter_mut().flatten() {
+            block.marked.clear_all();
+        }
+    }
+
+    /// Sweeps after a *full* collection: reclaims every
+    /// allocated-but-unmarked object, tenures every survivor, rebuilds the
+    /// object free lists, and releases fully empty blocks.
+    pub fn sweep(&mut self) -> SweepStats {
+        self.sweep_impl(false)
+    }
+
+    /// Sweeps after a *minor* (young-only) collection: old objects are
+    /// retained regardless of mark bits; unmarked young objects are
+    /// reclaimed; marked young objects are promoted (sticky mark bits, as
+    /// in the PCR generational collector the paper builds on).
+    pub fn sweep_young(&mut self) -> SweepStats {
+        self.sweep_impl(true)
+    }
+
+    fn sweep_impl(&mut self, minor: bool) -> SweepStats {
+        let mut stats = SweepStats::default();
+        for fl in &mut self.free_lists {
+            fl.clear();
+        }
+        let mut released: Vec<BlockId> = Vec::new();
+        for block in self.blocks.iter_mut().flatten() {
+            let mut live_here = 0u32;
+            for slot in 0..block.slots() {
+                if !block.allocated.get(slot) {
+                    continue;
+                }
+                let old = block.old.get(slot);
+                let marked = block.marked.get(slot);
+                if (minor && old) || marked {
+                    // Survivor. Marked survivors are tenured (sticky mark
+                    // bit): they have now survived a collection.
+                    live_here += 1;
+                    stats.objects_live += 1;
+                    stats.bytes_live += u64::from(block.obj_bytes());
+                    if marked && !old {
+                        block.old.set(slot);
+                        stats.objects_promoted += 1;
+                        stats.bytes_promoted += u64::from(block.obj_bytes());
+                    }
+                } else {
+                    block.allocated.clear(slot);
+                    block.old.clear(slot);
+                    self.typed.remove(&block.slot_base(slot).raw());
+                    stats.objects_freed += 1;
+                    stats.bytes_freed += u64::from(block.obj_bytes());
+                }
+            }
+            if live_here == 0 {
+                released.push(block.id);
+            } else if let BlockShape::Small { class } = block.shape {
+                let fli = fl_index(class, block.kind);
+                for slot in block.allocated.iter_zeros() {
+                    self.free_lists[fli].push(block.slot_base(slot));
+                }
+            }
+        }
+        for id in released {
+            self.release_block(id);
+            stats.blocks_released += 1;
+        }
+        self.bytes_live = stats.bytes_live;
+        stats
+    }
+
+    /// The live objects whose block owns `page` (the card-scanning helper
+    /// for generational mode: a dirty page's old composite objects must be
+    /// rescanned at a minor collection).
+    pub fn objects_on_page(&self, page: PageIdx) -> Vec<ObjRef> {
+        let Some(id) = self.page_map.get(page) else { return Vec::new() };
+        let Some(block) = self.block(id) else { return Vec::new() };
+        block
+            .allocated
+            .iter_ones()
+            .map(|slot| ObjRef {
+                block: block.id(),
+                index: slot,
+                base: block.slot_base(slot),
+                bytes: block.obj_bytes(),
+                kind: block.kind(),
+            })
+            .collect()
+    }
+
+    /// Is the object in the old generation?
+    pub fn is_old(&self, obj: ObjRef) -> bool {
+        self.block(obj.block).is_some_and(|b| b.is_old(obj.index))
+    }
+
+    /// Counts (young, old) live objects — a full pass, for diagnostics.
+    pub fn generation_census(&self) -> (u64, u64) {
+        let mut young = 0;
+        let mut old = 0;
+        for block in self.blocks() {
+            for slot in block.allocated.iter_ones() {
+                if block.old.get(slot) {
+                    old += 1;
+                } else {
+                    young += 1;
+                }
+            }
+        }
+        (young, old)
+    }
+
+    fn release_block(&mut self, id: BlockId) {
+        let block = self.blocks[id.0 as usize].take().expect("released block is live");
+        for i in 0..block.npages() {
+            self.page_map.clear(PageIdx::new(block.base().page().raw() + i));
+        }
+        // Purge any free-list entries pointing into the released range
+        // (explicit-free path; the sweep path rebuilt lists already).
+        let lo = block.base();
+        let hi = lo + block.npages() * PAGE_BYTES;
+        if let BlockShape::Small { class } = block.shape {
+            self.free_lists[fl_index(class, block.kind)].retain_outside(lo, hi);
+        }
+        self.release_pages(block.base().page(), block.npages());
+    }
+
+    /// Explicitly frees the object based at `addr` (the `malloc/free`
+    /// baseline path; a garbage-collected program calls [`Heap::sweep`]
+    /// instead).
+    ///
+    /// # Errors
+    ///
+    /// [`HeapError::NotAnObject`] if `addr` is not an object base;
+    /// [`HeapError::DoubleFree`] if the slot is already free.
+    pub fn free_object(&mut self, addr: Addr) -> Result<(), HeapError> {
+        let (block, slot) = match self.slot_of(addr) {
+            Some((b, s)) if b.slot_base(s) == addr => (b.id(), s),
+            _ => return Err(HeapError::NotAnObject { addr }),
+        };
+        let (obj_bytes, unused, small) = {
+            let b = self.block_mut(block);
+            if !b.allocated.get(slot) {
+                return Err(HeapError::DoubleFree { addr });
+            }
+            b.allocated.clear(slot);
+            b.marked.clear(slot);
+            let small = match b.shape {
+                BlockShape::Small { class } => Some((class, b.kind)),
+                BlockShape::Large { .. } => None,
+            };
+            (b.obj_bytes(), b.is_unused(), small)
+        };
+        self.bytes_live -= u64::from(obj_bytes);
+        self.typed.remove(&addr.raw());
+        if unused {
+            self.release_block(block);
+        } else if let Some((class, kind)) = small {
+            self.free_lists[fl_index(class, kind)].push(addr);
+        }
+        Ok(())
+    }
+
+    /// Iterates over live blocks in id order.
+    pub fn blocks(&self) -> impl Iterator<Item = &Block> + '_ {
+        self.blocks.iter().flatten()
+    }
+
+    /// Iterates over all live objects.
+    pub fn live_objects(&self) -> impl Iterator<Item = ObjRef> + '_ {
+        self.blocks().flat_map(|b| {
+            b.allocated.iter_ones().map(move |slot| ObjRef {
+                block: b.id(),
+                index: slot,
+                base: b.slot_base(slot),
+                bytes: b.obj_bytes(),
+                kind: b.kind(),
+            })
+        })
+    }
+
+    /// Marks the start of a collection cycle for allocation-rate
+    /// accounting, and returns quarantined pages to the free runs (their
+    /// blacklist entries may have aged out; they will be re-quarantined on
+    /// the next denial otherwise).
+    pub fn note_collection(&mut self) {
+        self.bytes_since_collect = 0;
+        for page in std::mem::take(&mut self.quarantined) {
+            self.release_pages(PageIdx::new(page), 1);
+        }
+    }
+
+    /// Pages currently parked in the quarantine.
+    pub fn quarantined_pages(&self) -> u32 {
+        self.quarantined.len() as u32
+    }
+
+    /// Aggregate statistics.
+    pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            mapped_pages: self.mapped_pages,
+            free_pages: self.free_runs.values().sum::<u32>() + self.quarantined.len() as u32,
+            largest_free_run: self.free_runs.values().copied().max().unwrap_or(0),
+            bytes_live: self.bytes_live,
+            bytes_allocated_total: self.bytes_allocated_total,
+            bytes_since_collect: self.bytes_since_collect,
+            blocks: self.blocks().count() as u32,
+        }
+    }
+
+    /// Total objects ever allocated.
+    pub fn objects_allocated_total(&self) -> u64 {
+        self.objects_allocated_total
+    }
+}
+
+/// Accepts every page; the placement predicate used when blacklisting is
+/// disabled.
+pub fn accept_all(_page: PageIdx, _use_: PageUse) -> bool {
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_vmspace::Endian;
+
+    fn setup() -> (AddressSpace, Heap) {
+        let space = AddressSpace::new(Endian::Big);
+        let heap = Heap::new(HeapConfig {
+            heap_base: Addr::new(0x0003_0000),
+            max_heap_bytes: 8 << 20,
+            growth_pages: 16,
+            freelist_policy: FreeListPolicy::AddressOrdered,
+        });
+        (space, heap)
+    }
+
+    #[test]
+    fn small_alloc_and_object_map() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a.page(), b.page(), "same size class shares a block");
+        let obj = heap.object_containing(a + 4).expect("interior address resolves");
+        assert_eq!(obj.base, a);
+        assert_eq!(obj.bytes, 8);
+        assert!(heap.is_object_base(a));
+        assert!(!heap.is_object_base(a + 4));
+        assert!(heap.object_containing(Addr::new(0x10)).is_none());
+    }
+
+    #[test]
+    fn alloc_zeroes_memory() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all).unwrap();
+        space.write_u32(a, 0xdeadbeef).unwrap();
+        heap.free_object(a).unwrap();
+        let b = heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert_eq!(b, a, "address-ordered free list reuses the slot");
+        assert_eq!(space.read_u32(b).unwrap(), 0, "allocation zeroes");
+    }
+
+    #[test]
+    fn kinds_use_separate_blocks() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap.alloc(&mut space, 8, ObjectKind::Atomic, &mut accept_all).unwrap();
+        assert_ne!(a.page(), b.page(), "atomic and composite never share a block");
+        assert_eq!(heap.object_containing(a).unwrap().kind, ObjectKind::Composite);
+        assert_eq!(heap.object_containing(b).unwrap().kind, ObjectKind::Atomic);
+    }
+
+    #[test]
+    fn large_alloc_spans_pages() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 100_000, ObjectKind::Composite, &mut accept_all).unwrap();
+        let obj = heap.object_containing(a + 99_999).expect("interior of large object");
+        assert_eq!(obj.base, a);
+        assert_eq!(obj.bytes, 100_000);
+        // Every spanned page resolves to the object.
+        for p in 0..(100_000u32.div_ceil(PAGE_BYTES)) {
+            assert!(heap.object_containing(a + p * PAGE_BYTES).is_some());
+        }
+        assert!(heap.object_containing(a + 100_000).is_none(), "past the end");
+    }
+
+    #[test]
+    fn predicate_steers_placement() {
+        let (mut space, mut heap) = setup();
+        // Forbid the first 4 pages of the heap.
+        let base_page = Addr::new(0x0003_0000).page().raw();
+        let mut pred =
+            |p: PageIdx, _u: PageUse| p.raw() >= base_page + 4;
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        assert!(a.page().raw() >= base_page + 4);
+    }
+
+    #[test]
+    fn predicate_distinguishes_page_use() {
+        let (mut space, mut heap) = setup();
+        let mut uses = Vec::new();
+        let mut pred = |_p: PageIdx, u: PageUse| {
+            uses.push(u);
+            true
+        };
+        heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Atomic, &mut pred).unwrap();
+        assert_eq!(
+            uses[..2],
+            [PageUse::LargeFirst(ObjectKind::Atomic), PageUse::LargeBody(ObjectKind::Atomic)]
+        );
+    }
+
+    #[test]
+    fn out_of_memory_reports_denied_pages() {
+        let mut space = AddressSpace::new(Endian::Big);
+        let mut heap = Heap::new(HeapConfig {
+            max_heap_bytes: 64 << 10, // 16 pages
+            growth_pages: 4,
+            ..HeapConfig::default()
+        });
+        let mut deny_all = |_p: PageIdx, _u: PageUse| false;
+        let err = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_all).unwrap_err();
+        match err {
+            HeapError::OutOfMemory { requested: 8, pages_denied } => {
+                assert!(pages_denied >= 16, "every mapped page was denied: {pages_denied}")
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn sweep_reclaims_unmarked() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        heap.clear_marks();
+        let obj_a = heap.object_containing(a).unwrap();
+        assert!(heap.set_marked(obj_a));
+        assert!(!heap.set_marked(obj_a), "second mark reports already-set");
+        let stats = heap.sweep();
+        assert_eq!(stats.objects_freed, 1);
+        assert_eq!(stats.objects_live, 1);
+        assert!(heap.object_containing(a).is_some());
+        assert!(heap.object_containing(b).is_none(), "b was reclaimed");
+    }
+
+    #[test]
+    fn sweep_releases_empty_blocks() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert_eq!(heap.stats().blocks, 1);
+        heap.clear_marks();
+        let stats = heap.sweep();
+        assert_eq!(stats.blocks_released, 1);
+        assert_eq!(heap.stats().blocks, 0);
+        assert!(heap.object_containing(a).is_none());
+        // The pages are reusable.
+        let b = heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert_eq!(b, a, "released pages are reused lowest-first");
+    }
+
+    #[test]
+    fn explicit_free_and_double_free() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 32, ObjectKind::Composite, &mut accept_all).unwrap();
+        heap.free_object(a).unwrap();
+        assert_eq!(heap.free_object(a), Err(HeapError::NotAnObject { addr: a }));
+        assert_eq!(
+            heap.free_object(Addr::new(1)),
+            Err(HeapError::NotAnObject { addr: Addr::new(1) })
+        );
+    }
+
+    #[test]
+    fn double_free_detected_when_block_survives() {
+        let (mut space, mut heap) = setup();
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let _b = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        heap.free_object(a).unwrap();
+        assert_eq!(heap.free_object(a), Err(HeapError::DoubleFree { addr: a }));
+    }
+
+    #[test]
+    fn stats_track_liveness() {
+        let (mut space, mut heap) = setup();
+        assert_eq!(heap.stats().bytes_live, 0);
+        let a = heap.alloc(&mut space, 100, ObjectKind::Composite, &mut accept_all).unwrap();
+        let s = heap.stats();
+        assert_eq!(s.bytes_live, 128, "100 bytes rounds to the 128-byte class");
+        assert_eq!(s.bytes_allocated_total, 128);
+        assert_eq!(s.bytes_since_collect, 128);
+        heap.note_collection();
+        assert_eq!(heap.stats().bytes_since_collect, 0);
+        heap.free_object(a).unwrap();
+        assert_eq!(heap.stats().bytes_live, 0);
+        assert_eq!(heap.objects_allocated_total(), 1);
+    }
+
+    #[test]
+    fn heap_range_grows() {
+        let (mut space, mut heap) = setup();
+        assert!(!heap.in_heap_range(Addr::new(0x0003_0000)));
+        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert!(heap.in_heap_range(Addr::new(0x0003_0000)));
+        assert_eq!(heap.lo(), Some(Addr::new(0x0003_0000)));
+        assert_eq!(heap.hi(), Addr::new(0x0003_0000) + 16 * PAGE_BYTES);
+    }
+
+    #[test]
+    fn expansion_skips_foreign_segments() {
+        let (mut space, mut heap) = setup();
+        // Drop a foreign segment right where the heap wants to grow.
+        space
+            .map(SegmentSpec::new("lib", SegmentKind::Data, Addr::new(0x0003_0000), PAGE_BYTES))
+            .unwrap();
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert!(a.raw() >= 0x0003_1000, "heap skipped the occupied page, got {a}");
+    }
+
+    #[test]
+    fn live_objects_enumeration() {
+        let (mut space, mut heap) = setup();
+        let mut addrs: Vec<Addr> = (0..5)
+            .map(|_| heap.alloc(&mut space, 24, ObjectKind::Composite, &mut accept_all).unwrap())
+            .collect();
+        let mut live: Vec<Addr> = heap.live_objects().map(|o| o.base).collect();
+        addrs.sort_unstable();
+        live.sort_unstable();
+        assert_eq!(addrs, live);
+    }
+
+    #[test]
+    fn free_run_coalescing_allows_large_reuse() {
+        let (mut space, mut heap) = setup();
+        // Two adjacent large objects.
+        let a = heap.alloc(&mut space, 3 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap.alloc(&mut space, 3 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        heap.free_object(a).unwrap();
+        heap.free_object(b).unwrap();
+        // The coalesced 6-page run satisfies a 6-page request in place.
+        let c = heap.alloc(&mut space, 6 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        assert_eq!(c, a.min(b));
+    }
+}
+
+#[cfg(test)]
+mod quarantine_tests {
+    use super::*;
+    use crate::accept_all;
+    use gc_vmspace::Endian;
+
+    fn setup() -> (AddressSpace, Heap) {
+        let space = AddressSpace::new(Endian::Big);
+        let heap = Heap::new(HeapConfig {
+            heap_base: Addr::new(0x0003_0000),
+            max_heap_bytes: 8 << 20,
+            growth_pages: 16,
+            freelist_policy: FreeListPolicy::AddressOrdered,
+        });
+        (space, heap)
+    }
+
+    #[test]
+    fn denied_pages_are_quarantined_not_rescanned() {
+        let (mut space, mut heap) = setup();
+        let base_page = Addr::new(0x0003_0000).page().raw();
+        // Deny the first 8 pages for composite use.
+        let denials = std::cell::Cell::new(0u32);
+        let mut pred = |p: PageIdx, u: PageUse| {
+            if p.raw() < base_page + 8 && matches!(u, PageUse::SmallBlock(ObjectKind::Composite)) {
+                denials.set(denials.get() + 1);
+                false
+            } else {
+                true
+            }
+        };
+        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        assert!(a.page().raw() >= base_page + 8);
+        assert_eq!(heap.quarantined_pages(), 8);
+        let first_round = denials.get();
+        assert_eq!(first_round, 8, "each denied page was checked exactly once");
+        // Exhaust the block so the next allocation needs a fresh page: the
+        // quarantined pages are NOT re-examined (footnote 3's fix).
+        for _ in 0..1024 {
+            heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        }
+        assert_eq!(denials.get(), first_round, "quarantined pages never rescanned");
+    }
+
+    #[test]
+    fn atomic_allocation_reuses_quarantined_pages() {
+        let (mut space, mut heap) = setup();
+        let base_page = Addr::new(0x0003_0000).page().raw();
+        // Composite is denied on page 0; atomic is allowed anywhere
+        // (observation 6's exemption).
+        let mut pred = |p: PageIdx, u: PageUse| {
+            p.raw() != base_page || matches!(u, PageUse::SmallBlock(ObjectKind::Atomic))
+        };
+        let c = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        assert_ne!(c.page().raw(), base_page);
+        assert_eq!(heap.quarantined_pages(), 1);
+        let a = heap.alloc(&mut space, 8, ObjectKind::Atomic, &mut pred).unwrap();
+        assert_eq!(a.page().raw(), base_page, "atomic drew from the quarantine");
+        assert_eq!(heap.quarantined_pages(), 0);
+    }
+
+    #[test]
+    fn note_collection_requeues_quarantined_pages() {
+        let (mut space, mut heap) = setup();
+        let base_page = Addr::new(0x0003_0000).page().raw();
+        let mut deny_first = |p: PageIdx, _u: PageUse| p.raw() != base_page;
+        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_first).unwrap();
+        assert_eq!(heap.quarantined_pages(), 1);
+        heap.note_collection();
+        assert_eq!(heap.quarantined_pages(), 0);
+        // The page is usable again once the predicate (blacklist) relents.
+        let b = heap.alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all).unwrap();
+        let _ = b;
+        let mut seen_first = false;
+        for _ in 0..64 {
+            let x = heap.alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all).unwrap();
+            if x.page().raw() == base_page {
+                seen_first = true;
+            }
+        }
+        assert!(seen_first, "requeued page returned to service");
+    }
+
+    #[test]
+    fn quarantine_counts_in_free_pages() {
+        let (mut space, mut heap) = setup();
+        let base_page = Addr::new(0x0003_0000).page().raw();
+        let mut deny_first = |p: PageIdx, _u: PageUse| p.raw() != base_page;
+        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_first).unwrap();
+        let stats = heap.stats();
+        assert_eq!(stats.mapped_pages, 16);
+        // 16 mapped - 1 block page = 15 free, of which 1 quarantined.
+        assert_eq!(stats.free_pages, 15);
+        assert_eq!(heap.quarantined_pages(), 1);
+    }
+}

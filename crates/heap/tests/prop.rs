@@ -1,0 +1,158 @@
+//! Property-based tests for the heap substrate's structural invariants.
+
+use gc_heap::{accept_all, BlockShape, ExplicitHeap, FreeListPolicy, Heap, HeapConfig, ObjectKind};
+use gc_vmspace::{Addr, AddressSpace, Endian, PAGE_BYTES};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+fn heap(policy: FreeListPolicy) -> (AddressSpace, Heap) {
+    let space = AddressSpace::new(Endian::Big);
+    let heap = Heap::new(HeapConfig {
+        heap_base: Addr::new(0x10_0000),
+        max_heap_bytes: 64 << 20,
+        growth_pages: 16,
+        freelist_policy: policy,
+    });
+    (space, heap)
+}
+
+/// Structural invariants that must hold after any operation sequence.
+fn check_invariants(heap: &Heap) {
+    // 1. Live object extents never overlap, and every interior address
+    //    resolves back to its object.
+    let mut extents: Vec<(u32, u32)> = Vec::new();
+    for obj in heap.live_objects() {
+        extents.push((obj.base.raw(), obj.base.raw() + obj.bytes));
+        // Base and last byte resolve to the same object.
+        let via_base = heap.object_containing(obj.base).expect("base resolves");
+        assert_eq!(via_base.base, obj.base);
+        let via_last = heap.object_containing(obj.base + obj.bytes - 1).expect("interior resolves");
+        assert_eq!(via_last.base, obj.base);
+    }
+    extents.sort_unstable();
+    for pair in extents.windows(2) {
+        assert!(pair[0].1 <= pair[1].0, "live objects overlap: {pair:?}");
+    }
+    // 2. bytes_live accounting agrees with enumeration.
+    let sum: u64 = heap.live_objects().map(|o| u64::from(o.bytes)).sum();
+    assert_eq!(heap.stats().bytes_live, sum, "bytes_live accounting drifted");
+    // 3. Every block's pages are inside the heap range.
+    for block in heap.blocks() {
+        assert!(heap.in_heap_range(block.base()));
+        let end = block.base() + block.npages() * PAGE_BYTES - 1;
+        assert!(heap.in_heap_range(end));
+        match block.shape() {
+            BlockShape::Small { .. } => assert_eq!(block.npages(), 1),
+            BlockShape::Large { obj_bytes } => {
+                assert!(obj_bytes.div_ceil(PAGE_BYTES) == block.npages())
+            }
+        }
+    }
+}
+
+/// An operation in a random allocator trace.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc { bytes: u32, atomic: bool },
+    FreeIdx(usize),
+    SweepNothingMarked,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (1u32..6000, any::<bool>()).prop_map(|(bytes, atomic)| Op::Alloc { bytes, atomic }),
+        3 => any::<usize>().prop_map(Op::FreeIdx),
+        1 => Just(Op::SweepNothingMarked),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants hold across arbitrary alloc/free/sweep traces under both
+    /// free-list policies.
+    #[test]
+    fn invariants_hold_across_traces(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        lifo: bool,
+    ) {
+        let policy = if lifo { FreeListPolicy::Lifo } else { FreeListPolicy::AddressOrdered };
+        let (mut space, mut heap) = heap(policy);
+        let mut live: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { bytes, atomic } => {
+                    let kind = if atomic { ObjectKind::Atomic } else { ObjectKind::Composite };
+                    let addr = heap.alloc(&mut space, bytes, kind, &mut accept_all).unwrap();
+                    live.push(addr);
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let addr = live.swap_remove(i % live.len());
+                        heap.free_object(addr).unwrap();
+                    }
+                }
+                Op::SweepNothingMarked => {
+                    // Mark everything we consider live, then sweep: nothing
+                    // of ours may be reclaimed.
+                    heap.clear_marks();
+                    for &a in &live {
+                        let obj = heap.object_containing(a).expect("tracked object is live");
+                        heap.set_marked(obj);
+                    }
+                    let stats = heap.sweep();
+                    prop_assert_eq!(stats.objects_live, live.len() as u64);
+                }
+            }
+            check_invariants(&heap);
+        }
+        // Every tracked address is still a distinct live object.
+        let bases: HashSet<u32> = heap.live_objects().map(|o| o.base.raw()).collect();
+        for a in &live {
+            prop_assert!(bases.contains(&a.raw()));
+        }
+        prop_assert_eq!(bases.len(), live.len());
+    }
+
+    /// Allocation never returns overlapping or duplicate addresses, and
+    /// usable sizes are at least the request.
+    #[test]
+    fn allocations_are_disjoint_and_big_enough(
+        sizes in proptest::collection::vec(1u32..10_000, 1..80),
+    ) {
+        let (mut space, mut heap) = heap(FreeListPolicy::AddressOrdered);
+        let mut seen: HashMap<u32, u32> = HashMap::new();
+        for bytes in sizes {
+            let addr = heap.alloc(&mut space, bytes, ObjectKind::Composite, &mut accept_all).unwrap();
+            prop_assert!(!seen.contains_key(&addr.raw()), "duplicate address {addr}");
+            let obj = heap.object_containing(addr).expect("fresh object resolves");
+            prop_assert!(obj.bytes >= bytes, "usable {} < requested {bytes}", obj.bytes);
+            seen.insert(addr.raw(), obj.bytes);
+        }
+        check_invariants(&heap);
+    }
+
+    /// free + realloc round trips: the explicit heap recycles without
+    /// leaking or corrupting accounting.
+    #[test]
+    fn explicit_heap_recycles(rounds in 1usize..30, batch in 1usize..40, bytes in 1u32..512) {
+        let mut space = AddressSpace::new(Endian::Big);
+        let mut heap = ExplicitHeap::new(HeapConfig {
+            heap_base: Addr::new(0x10_0000),
+            growth_pages: 16,
+            ..HeapConfig::default()
+        });
+        let mut peak_pages = 0;
+        for _ in 0..rounds {
+            let ptrs: Vec<Addr> =
+                (0..batch).map(|_| heap.malloc(&mut space, bytes).unwrap()).collect();
+            peak_pages = peak_pages.max(heap.stats().mapped_pages);
+            for p in ptrs {
+                heap.free(p).unwrap();
+            }
+            prop_assert_eq!(heap.stats().bytes_live, 0);
+        }
+        // Steady state: memory does not grow without bound across rounds.
+        prop_assert_eq!(heap.stats().mapped_pages, peak_pages);
+    }
+}

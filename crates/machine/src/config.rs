@@ -1,0 +1,130 @@
+//! Mutator machine configuration.
+
+use gc_core::GcConfig;
+use gc_vmspace::{Addr, Endian};
+
+/// Stack-frame discipline of the simulated compiler/ABI.
+///
+/// §3.1 of the paper: RISC calling conventions "tend to encourage
+/// unnecessarily large stack frames, parts of which are never written", so
+/// a stale pointer in a popped frame can survive a later push and appear
+/// live to the collector.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FramePolicy {
+    /// Extra never-written words reserved per frame beyond the declared
+    /// locals (register-window save areas, alignment, spill slots).
+    pub pad_words: u32,
+    /// Whether function entry zeroes the whole frame (a defensively
+    /// compiled program; real compilers don't).
+    pub clear_on_push: bool,
+}
+
+impl Default for FramePolicy {
+    fn default() -> Self {
+        FramePolicy { pad_words: 8, clear_on_push: false }
+    }
+}
+
+/// The allocator-driven stack clearing of §3.1.
+///
+/// "The allocator should occasionally try to clear areas in the stack
+/// beyond the most recently activated frame. This is particularly useful
+/// when the allocator is invoked on a stack that is much shorter than the
+/// largest one encountered so far."
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackClearing {
+    /// Master switch; Table 1 ran with the technique available, the §3.1
+    /// list-reversal experiment toggles it.
+    pub enabled: bool,
+    /// Clear on every `every_allocs`-th allocation (amortizes the cost; the
+    /// paper calls its variant "very cheap").
+    pub every_allocs: u32,
+    /// Upper bound on bytes cleared per episode.
+    pub max_bytes_per_clear: u32,
+}
+
+impl Default for StackClearing {
+    fn default() -> Self {
+        StackClearing { enabled: false, every_allocs: 64, max_bytes_per_clear: 16 << 10 }
+    }
+}
+
+/// Full machine configuration.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Byte order of the machine.
+    pub endian: Endian,
+    /// Collector configuration.
+    pub gc: GcConfig,
+    /// Top of the main thread's stack (stacks grow downward).
+    pub stack_top: Addr,
+    /// Main stack size in bytes.
+    pub stack_bytes: u32,
+    /// Number of flat general registers when `register_windows == 0`.
+    pub registers: u32,
+    /// SPARC-style register windows of 16 registers each (plus 8 globals);
+    /// 0 selects a flat register file. Windows are *never cleared* on
+    /// reallocation, so stale pointers linger — appendix B's
+    /// "contents of unused registers appear to be nondeterministic".
+    pub register_windows: u32,
+    /// Stack-frame discipline.
+    pub frame: FramePolicy,
+    /// Allocator stack clearing (§3.1).
+    pub stack_clearing: StackClearing,
+    /// Whether the allocator clears its own pointer droppings before
+    /// returning (§3.1: "it may pay to have the allocator and collector
+    /// carefully clean up after themselves"). When `false`, the address of
+    /// the most recent allocation lingers in a scratch register and in the
+    /// allocator's dead stack frame just below `sp`.
+    pub allocator_hygiene: bool,
+    /// Whether the *collector* clears its own frame area before scanning.
+    /// A real collector runs as a call below the mutator's `sp`, so its
+    /// scan covers `collector_frame_bytes` of dead mutator stack; a
+    /// hygienic collector zeroes its locals first (§3.1), a sloppy one
+    /// scans whatever droppings sit there.
+    pub collector_hygiene: bool,
+    /// Depth of the collector/allocator call chain below the mutator's
+    /// `sp`, in bytes (only relevant when `collector_hygiene` is false).
+    pub collector_frame_bytes: u32,
+    /// How many registers a simulated system call trashes with kernel
+    /// droppings (appendix B's SGI effect); 0 disables.
+    pub syscall_noise_registers: u32,
+    /// Seed for the machine's own nondeterminism (syscall noise).
+    pub seed: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig {
+            endian: Endian::Big,
+            gc: GcConfig::default(),
+            stack_top: Addr::new(0xEFF0_0000),
+            stack_bytes: 256 << 10,
+            registers: 32,
+            register_windows: 0,
+            frame: FramePolicy::default(),
+            stack_clearing: StackClearing::default(),
+            allocator_hygiene: true,
+            collector_hygiene: true,
+            collector_frame_bytes: 160,
+            syscall_noise_registers: 0,
+            seed: 0x5ec_6c,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = MachineConfig::default();
+        assert!(c.stack_bytes >= 64 << 10);
+        assert_eq!(c.register_windows, 0);
+        assert!(!c.stack_clearing.enabled);
+        assert!(c.allocator_hygiene);
+        assert!(!c.frame.clear_on_push);
+        assert!(c.frame.pad_words > 0, "RISC frames are oversized by default");
+    }
+}

@@ -1,0 +1,41 @@
+//! Simulated mutator machine for the conservative collector.
+//!
+//! The experiments of Boehm's *Space Efficient Conservative Garbage
+//! Collection* (PLDI 1993) hinge on how real programs treat their stacks
+//! and registers: RISC ABIs leave oversized, partially-unwritten frames;
+//! SPARC register windows are never cleared; kernels drop values into
+//! registers on syscall return; allocators leave fresh pointers in scratch
+//! state. This crate models exactly those disciplines.
+//!
+//! A [`Machine`] wraps a [`gc_core::Collector`] and places all mutator
+//! state — register file (optionally windowed), per-thread stacks, static
+//! data — inside the collector's scanned address space. Client programs
+//! (see the `gc-workloads` crate) run as Rust closures over the machine's
+//! call/local/register/heap operations, so every dropping they leave behind
+//! is visible to the conservative scan.
+//!
+//! Faithful to real collectors, only the *live* window `[sp, top)` of each
+//! stack is scanned; the §3.1 leaks arise when the stack grows back over
+//! stale pointers without overwriting them.
+//!
+//! # Example
+//!
+//! ```
+//! use gc_machine::{Machine, MachineConfig};
+//! use gc_heap::ObjectKind;
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! let head = m.alloc(8, ObjectKind::Composite).expect("fresh heap");
+//! m.set_reg(1, head.raw()); // registers are roots
+//! m.collect();
+//! assert!(m.gc().is_live(head));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod machine;
+
+pub use config::{FramePolicy, MachineConfig, StackClearing};
+pub use machine::{Machine, ThreadId};

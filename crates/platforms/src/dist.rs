@@ -1,0 +1,192 @@
+//! Distributions of non-pointer word values found in real process images.
+//!
+//! The paper's false references come from concrete populations: the SunOS
+//! static libc's "several large arrays (totalling more than 35K) of
+//! seemingly random integer values, apparently used for base conversion",
+//! packed unaligned C strings, floating-point constants, environment
+//! variables, and kernel droppings. Each profile synthesizes its pollution
+//! from a mixture of these distributions.
+
+use rand::rngs::SmallRng;
+use rand::RngExt;
+use std::fmt;
+
+/// A distribution over 32-bit word values.
+#[derive(Clone, Debug)]
+pub enum ValueDist {
+    /// Uniform in `[lo, hi)`.
+    Uniform(u32, u32),
+    /// Log-uniform in `[lo, hi)` (many magnitudes, like base-conversion
+    /// powers).
+    LogUniform(u32, u32),
+    /// Small non-negative integers `0..=max` (counters, enum codes, sizes).
+    SmallInt(u32),
+    /// Four printable ASCII bytes (packed string data read as a word).
+    AsciiWord,
+    /// IEEE-754 single-precision bit patterns of moderate magnitudes.
+    FloatBits,
+    /// Kernel-space addresses (`0x8000_0000..0xF000_0000`), harmless to a
+    /// user-space heap.
+    KernelAddr,
+    /// Weighted mixture of other distributions.
+    Mix(Vec<(f64, ValueDist)>),
+}
+
+impl ValueDist {
+    /// Draws one word.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a `Uniform`/`LogUniform` range is empty or a `Mix` has no
+    /// positive weight.
+    pub fn sample(&self, rng: &mut SmallRng) -> u32 {
+        match self {
+            ValueDist::Uniform(lo, hi) => {
+                assert!(lo < hi, "empty uniform range");
+                rng.random_range(*lo..*hi)
+            }
+            ValueDist::LogUniform(lo, hi) => {
+                let lo = (*lo).max(1) as f64;
+                let hi = (*hi).max(2) as f64;
+                assert!(lo < hi, "empty log-uniform range");
+                let x = rng.random_range(lo.ln()..hi.ln());
+                x.exp() as u32
+            }
+            ValueDist::SmallInt(max) => rng.random_range(0..=*max),
+            ValueDist::AsciiWord => {
+                let mut w = 0u32;
+                for _ in 0..4 {
+                    w = (w << 8) | u32::from(rng.random_range(0x20u8..0x7f));
+                }
+                w
+            }
+            ValueDist::FloatBits => {
+                let mag = rng.random_range(-3.0f32..6.0);
+                let v = 10f32.powf(mag) * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+                v.to_bits()
+            }
+            ValueDist::KernelAddr => rng.random_range(0x8000_0000..0xF000_0000),
+            ValueDist::Mix(parts) => {
+                let total: f64 = parts.iter().map(|(w, _)| *w).sum();
+                assert!(total > 0.0, "mixture needs positive weight");
+                let mut x = rng.random_range(0.0..total);
+                for (w, d) in parts {
+                    if x < *w {
+                        return d.sample(rng);
+                    }
+                    x -= *w;
+                }
+                parts.last().expect("nonempty mixture").1.sample(rng)
+            }
+        }
+    }
+
+    /// Draws `n` words.
+    pub fn sample_n(&self, rng: &mut SmallRng, n: usize) -> Vec<u32> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl fmt::Display for ValueDist {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueDist::Uniform(lo, hi) => write!(f, "uniform[{lo:#x},{hi:#x})"),
+            ValueDist::LogUniform(lo, hi) => write!(f, "log-uniform[{lo:#x},{hi:#x})"),
+            ValueDist::SmallInt(max) => write!(f, "small-int[0,{max}]"),
+            ValueDist::AsciiWord => f.write_str("ascii-word"),
+            ValueDist::FloatBits => f.write_str("float-bits"),
+            ValueDist::KernelAddr => f.write_str("kernel-addr"),
+            ValueDist::Mix(parts) => {
+                f.write_str("mix(")?;
+                for (i, (w, d)) in parts.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{w:.2}×{d}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn uniform_stays_in_range() {
+        let d = ValueDist::Uniform(100, 200);
+        let mut r = rng();
+        for _ in 0..1000 {
+            let v = d.sample(&mut r);
+            assert!((100..200).contains(&v));
+        }
+    }
+
+    #[test]
+    fn log_uniform_covers_magnitudes() {
+        let d = ValueDist::LogUniform(1, 1 << 30);
+        let mut r = rng();
+        let vs = d.sample_n(&mut r, 2000);
+        assert!(vs.iter().any(|&v| v < 1000));
+        assert!(vs.iter().any(|&v| v > 1 << 20));
+        assert!(vs.iter().all(|&v| v < 1 << 30));
+    }
+
+    #[test]
+    fn ascii_words_are_printable() {
+        let d = ValueDist::AsciiWord;
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = d.sample(&mut r);
+            for b in v.to_be_bytes() {
+                assert!((0x20..0x7f).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_addrs_are_high() {
+        let d = ValueDist::KernelAddr;
+        let mut r = rng();
+        for _ in 0..200 {
+            assert!(d.sample(&mut r) >= 0x8000_0000);
+        }
+    }
+
+    #[test]
+    fn mixture_uses_all_components() {
+        let d = ValueDist::Mix(vec![
+            (0.5, ValueDist::SmallInt(10)),
+            (0.5, ValueDist::KernelAddr),
+        ]);
+        let mut r = rng();
+        let vs = d.sample_n(&mut r, 500);
+        assert!(vs.iter().any(|&v| v <= 10));
+        assert!(vs.iter().any(|&v| v >= 0x8000_0000));
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = ValueDist::LogUniform(1, 1 << 24);
+        let a = d.sample_n(&mut rng(), 64);
+        let b = d.sample_n(&mut rng(), 64);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn float_bits_decode_to_moderate_floats() {
+        let d = ValueDist::FloatBits;
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = f32::from_bits(d.sample(&mut r));
+            assert!(v.abs() >= 1e-4 && v.abs() <= 1e7);
+        }
+    }
+}

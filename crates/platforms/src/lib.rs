@@ -1,0 +1,40 @@
+//! Platform profiles for the Table-1 experiments.
+//!
+//! Boehm's Table 1 measures Program T's storage retention on five
+//! platforms. The retention differences are driven entirely by what each
+//! platform's process image puts in front of the conservative scan:
+//! SunOS's statically linked libc carries >35 KB of integer arrays and a
+//! packed string table whose trailing-`NUL` words read as low heap
+//! addresses; the dynamic build drops most of it; IRIX has clean arrays
+//! but noisy trap returns; OS/2 is clean and deterministic; PCR carries a
+//! multi-megabyte live Cedar world, background threads and heap-size
+//! statics.
+//!
+//! Each [`Profile`] packages those populations; [`Profile::build`]
+//! instantiates a [`Platform`] holding the [`gc_machine::Machine`] plus
+//! [`PlatformHooks`] for the live behaviours (trap noise, thread wakeups,
+//! concurrent clients).
+//!
+//! # Example
+//!
+//! ```
+//! use gc_platforms::{BuildOptions, Profile};
+//!
+//! let mut platform = Profile::sgi(true)
+//!     .build(BuildOptions { seed: 3, ..BuildOptions::default() });
+//! let stats = platform.machine.collect();
+//! assert!(stats.root_words_scanned > 1000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dist;
+mod platform;
+mod pollution;
+mod profile;
+
+pub use dist::ValueDist;
+pub use platform::{Platform, PlatformHooks, TrapNoise};
+pub use pollution::{environ_bytes, install, junk_bytes, string_bytes, JunkArray, Pollution, StringTable};
+pub use profile::{BuildOptions, Profile, Quirk};

@@ -1,0 +1,233 @@
+//! Synthesis of the static-data pollution that causes false references.
+//!
+//! Appendix B of the paper identifies the concrete populations per
+//! platform: the static SunOS libc's base-conversion arrays, packed
+//! unaligned C strings whose trailing `NUL` plus the next three characters
+//! read as a small big-endian word, IO buffers, and the UNIX environment
+//! block. This module generates equivalent byte images.
+
+use crate::ValueDist;
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentId, SegmentKind, SegmentSpec};
+use rand::rngs::SmallRng;
+use rand::RngExt;
+
+/// A static array of non-pointer words (e.g. libc base-conversion tables).
+#[derive(Clone, Debug)]
+pub struct JunkArray {
+    /// Number of words in the array.
+    pub words: u32,
+    /// Distribution of the words' values.
+    pub dist: ValueDist,
+}
+
+/// A table of C strings in static data.
+#[derive(Clone, Debug)]
+pub struct StringTable {
+    /// Number of strings.
+    pub count: u32,
+    /// Minimum string length (without `NUL`).
+    pub min_len: u32,
+    /// Maximum string length (without `NUL`).
+    pub max_len: u32,
+    /// Whether the compiler word-aligns each string. Packed (`false`)
+    /// big-endian tables produce `0x00cccccc` scan words — plausible low
+    /// heap addresses (appendix B's SPARC effect).
+    pub aligned: bool,
+}
+
+/// Full static pollution of a platform.
+#[derive(Clone, Debug, Default)]
+pub struct Pollution {
+    /// Junk word arrays.
+    pub junk: Vec<JunkArray>,
+    /// C string table, if the image's strings are scanned.
+    pub strings: Option<StringTable>,
+    /// Size of the UNIX environment block (0 = none).
+    pub environ_bytes: u32,
+}
+
+/// Renders the junk arrays to bytes under the given endianness.
+pub fn junk_bytes(junk: &[JunkArray], endian: Endian, rng: &mut SmallRng) -> Vec<u8> {
+    let mut out = Vec::new();
+    for array in junk {
+        for _ in 0..array.words {
+            out.extend_from_slice(&endian.u32_bytes(array.dist.sample(rng)));
+        }
+    }
+    out
+}
+
+/// Renders a packed (or aligned) C string table to bytes.
+pub fn string_bytes(table: &StringTable, rng: &mut SmallRng) -> Vec<u8> {
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ%s%d/.:_-0123456789";
+    let mut out = Vec::new();
+    for _ in 0..table.count {
+        let len = rng.random_range(table.min_len..=table.max_len);
+        for _ in 0..len {
+            out.push(CHARS[rng.random_range(0..CHARS.len())]);
+        }
+        out.push(0);
+        if table.aligned {
+            while out.len() % 4 != 0 {
+                out.push(0);
+            }
+        }
+    }
+    while out.len() % 4 != 0 {
+        out.push(0);
+    }
+    out
+}
+
+/// Renders a UNIX environment block (`NAME=value\0`... strings).
+pub fn environ_bytes(bytes: u32, rng: &mut SmallRng) -> Vec<u8> {
+    const NAMES: &[&str] =
+        &["PATH", "HOME", "TERM", "USER", "SHELL", "DISPLAY", "LD_LIBRARY_PATH", "TZ", "LANG"];
+    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz/.:0123456789";
+    let mut out = Vec::new();
+    while out.len() + 16 < bytes as usize {
+        let name = NAMES[rng.random_range(0..NAMES.len())];
+        out.extend_from_slice(name.as_bytes());
+        out.push(b'=');
+        let len = rng.random_range(4..40usize).min(bytes as usize - out.len() - 2);
+        for _ in 0..len {
+            out.push(CHARS[rng.random_range(0..CHARS.len())]);
+        }
+        out.push(0);
+    }
+    out.resize(bytes as usize, 0);
+    out
+}
+
+/// Maps the pollution into the address space as root-scanned segments
+/// starting at `data_base` (junk, then strings; environ goes to its
+/// conventional place near the stacks). Returns the mapped segment ids.
+///
+/// # Panics
+///
+/// Panics if the segments collide with existing mappings (a profile layout
+/// bug).
+pub fn install(
+    pollution: &Pollution,
+    space: &mut AddressSpace,
+    data_base: Addr,
+    environ_base: Addr,
+    rng: &mut SmallRng,
+) -> Vec<SegmentId> {
+    let mut ids = Vec::new();
+    let mut cursor = data_base;
+    let endian = space.endian();
+    let junk = junk_bytes(&pollution.junk, endian, rng);
+    if !junk.is_empty() {
+        let id = space
+            .map(SegmentSpec::new("libc-junk", SegmentKind::Data, cursor, junk.len() as u32))
+            .expect("junk segment maps cleanly");
+        space.write_bytes(cursor, &junk).expect("junk fits its segment");
+        cursor = (cursor + junk.len() as u32).align_up(16);
+        ids.push(id);
+    }
+    if let Some(table) = &pollution.strings {
+        let bytes = string_bytes(table, rng);
+        if !bytes.is_empty() {
+            let id = space
+                .map(SegmentSpec::new("libc-strings", SegmentKind::Data, cursor, bytes.len() as u32))
+                .expect("string segment maps cleanly");
+            space.write_bytes(cursor, &bytes).expect("strings fit their segment");
+            ids.push(id);
+        }
+    }
+    if pollution.environ_bytes > 0 {
+        let bytes = environ_bytes(pollution.environ_bytes, rng);
+        let id = space
+            .map(SegmentSpec::new("environ", SegmentKind::Environ, environ_base, bytes.len() as u32))
+            .expect("environ block maps cleanly");
+        space.write_bytes(environ_base, &bytes).expect("environ fits its segment");
+        ids.push(id);
+    }
+    ids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(123)
+    }
+
+    #[test]
+    fn junk_renders_all_words() {
+        let arrays = vec![
+            JunkArray { words: 10, dist: ValueDist::SmallInt(5) },
+            JunkArray { words: 6, dist: ValueDist::KernelAddr },
+        ];
+        let bytes = junk_bytes(&arrays, Endian::Big, &mut rng());
+        assert_eq!(bytes.len(), 64);
+        // The first ten words are small ints.
+        for w in bytes.chunks(4).take(10) {
+            assert!(Endian::Big.read_u32(w) <= 5);
+        }
+    }
+
+    #[test]
+    fn packed_strings_produce_low_scan_words_on_big_endian() {
+        let table = StringTable { count: 200, min_len: 5, max_len: 30, aligned: false };
+        let bytes = string_bytes(&table, &mut rng());
+        assert_eq!(bytes.len() % 4, 0);
+        // Word-aligned scan of the packed table yields some 0x00cccccc
+        // values — the appendix-B trailing-NUL effect.
+        let mut low_words = 0;
+        for w in bytes.chunks_exact(4) {
+            let v = Endian::Big.read_u32(w);
+            if v > 0x0020_0000 && v < 0x0100_0000 {
+                low_words += 1;
+            }
+        }
+        assert!(low_words > 10, "expected trailing-NUL words, got {low_words}");
+    }
+
+    #[test]
+    fn aligned_strings_produce_no_nul_crossing_words() {
+        let table = StringTable { count: 200, min_len: 5, max_len: 30, aligned: true };
+        let bytes = string_bytes(&table, &mut rng());
+        // With every string aligned, a word is either pure text, text with
+        // trailing NULs, or zero — never NUL-then-text (0x00cc_cccc).
+        for w in bytes.chunks_exact(4) {
+            let v = Endian::Big.read_u32(w);
+            assert!(
+                !(v > 0 && v < 0x1000_0000),
+                "aligned table produced NUL-crossing word {v:#010x}"
+            );
+        }
+    }
+
+    #[test]
+    fn environ_fits_and_is_textual() {
+        let bytes = environ_bytes(256, &mut rng());
+        assert_eq!(bytes.len(), 256);
+        assert!(bytes.contains(&b'='));
+        assert!(bytes.iter().all(|&b| b == 0 || (0x20..0x7f).contains(&b)));
+    }
+
+    #[test]
+    fn install_maps_segments() {
+        let mut space = AddressSpace::new(Endian::Big);
+        let pollution = Pollution {
+            junk: vec![JunkArray { words: 64, dist: ValueDist::SmallInt(9) }],
+            strings: Some(StringTable { count: 20, min_len: 4, max_len: 10, aligned: false }),
+            environ_bytes: 128,
+        };
+        let ids = install(
+            &pollution,
+            &mut space,
+            Addr::new(0x1_0000),
+            Addr::new(0xEFF1_0000),
+            &mut rng(),
+        );
+        assert_eq!(ids.len(), 3);
+        assert!(space.roots().count() >= 3, "pollution segments are scanned");
+        assert!(space.is_mapped(Addr::new(0x1_0000)));
+        assert!(space.is_mapped(Addr::new(0xEFF1_0000)));
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type for simulated-memory access.
+
+use crate::Addr;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced by [`AddressSpace`](crate::AddressSpace) operations.
+///
+/// All simulated-memory faults are typed rather than panicking so that the
+/// collector and mutator can distinguish programming errors in a workload
+/// from bugs in the substrate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum VmError {
+    /// An access touched an address with no mapped segment.
+    Unmapped {
+        /// The faulting address.
+        addr: Addr,
+    },
+    /// A write touched a read-only segment (e.g. program text).
+    ReadOnly {
+        /// The faulting address.
+        addr: Addr,
+    },
+    /// A requested mapping overlaps an existing segment.
+    Overlap {
+        /// Base of the requested mapping.
+        base: Addr,
+        /// Length in bytes of the requested mapping.
+        len: u32,
+    },
+    /// A requested mapping extends past the end of the 32-bit address space.
+    OutOfSpace {
+        /// Base of the requested mapping.
+        base: Addr,
+        /// Length in bytes of the requested mapping.
+        len: u32,
+    },
+    /// An access crossed the end of its containing segment.
+    Torn {
+        /// The faulting address.
+        addr: Addr,
+        /// Width of the attempted access in bytes.
+        width: u32,
+    },
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            VmError::Unmapped { addr } => write!(f, "access to unmapped address {addr}"),
+            VmError::ReadOnly { addr } => write!(f, "write to read-only address {addr}"),
+            VmError::Overlap { base, len } => {
+                write!(f, "mapping of {len} bytes at {base} overlaps an existing segment")
+            }
+            VmError::OutOfSpace { base, len } => {
+                write!(f, "mapping of {len} bytes at {base} exceeds the 32-bit address space")
+            }
+            VmError::Torn { addr, width } => {
+                write!(f, "{width}-byte access at {addr} crosses a segment boundary")
+            }
+        }
+    }
+}
+
+impl Error for VmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_specific() {
+        let e = VmError::Unmapped { addr: Addr::new(0x40) };
+        assert_eq!(e.to_string(), "access to unmapped address 0x00000040");
+        let e = VmError::Overlap { base: Addr::new(0), len: 7 };
+        assert!(e.to_string().contains("overlaps"));
+        let e = VmError::Torn { addr: Addr::new(4), width: 4 };
+        assert!(e.to_string().contains("crosses"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<VmError>();
+    }
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the simulated address space.
+
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec, VmError};
+use proptest::prelude::*;
+
+/// A simple model mapping byte addresses to values, against which the real
+/// address space is checked.
+#[derive(Default)]
+struct Model {
+    bytes: std::collections::HashMap<u32, u8>,
+}
+
+fn arb_endian() -> impl Strategy<Value = Endian> {
+    prop_oneof![Just(Endian::Big), Just(Endian::Little)]
+}
+
+proptest! {
+    /// Writes followed by reads observe the written value, at any alignment,
+    /// under both byte orders.
+    #[test]
+    fn word_roundtrip(endian in arb_endian(), off in 0u32..1020, value: u32) {
+        let mut s = AddressSpace::new(endian);
+        s.map(SegmentSpec::new("t", SegmentKind::Data, Addr::new(0x8000), 1024)).unwrap();
+        let a = Addr::new(0x8000 + off);
+        s.write_u32(a, value).unwrap();
+        prop_assert_eq!(s.read_u32(a).unwrap(), value);
+    }
+
+    /// Byte-level writes and word-level reads agree with a model under the
+    /// chosen endianness.
+    #[test]
+    fn bytes_vs_model(endian in arb_endian(), writes in proptest::collection::vec((0u32..256, any::<u8>()), 0..64)) {
+        let mut s = AddressSpace::new(endian);
+        s.map(SegmentSpec::new("t", SegmentKind::Data, Addr::new(0), 256)).unwrap();
+        let mut model = Model::default();
+        for &(off, v) in &writes {
+            s.write_u8(Addr::new(off), v).unwrap();
+            model.bytes.insert(off, v);
+        }
+        for off in 0..253u32 {
+            let expect_bytes: Vec<u8> =
+                (off..off + 4).map(|o| *model.bytes.get(&o).unwrap_or(&0)).collect();
+            let expect = endian.read_u32(&expect_bytes);
+            prop_assert_eq!(s.read_u32(Addr::new(off)).unwrap(), expect);
+        }
+    }
+
+    /// Mapping any two segments either succeeds disjointly or reports
+    /// `Overlap`; successful mappings never intersect.
+    #[test]
+    fn overlap_detection(b1 in 0u32..0x10000, l1 in 1u32..0x4000, b2 in 0u32..0x10000, l2 in 1u32..0x4000) {
+        let mut s = AddressSpace::new(Endian::Big);
+        s.map(SegmentSpec::new("a", SegmentKind::Data, Addr::new(b1), l1)).unwrap();
+        let r = s.map(SegmentSpec::new("b", SegmentKind::Data, Addr::new(b2), l2));
+        let intersects = (u64::from(b2) < u64::from(b1) + u64::from(l1))
+            && (u64::from(b1) < u64::from(b2) + u64::from(l2));
+        match r {
+            Ok(_) => prop_assert!(!intersects),
+            Err(VmError::Overlap { .. }) => prop_assert!(intersects),
+            Err(other) => prop_assert!(false, "unexpected error {other}"),
+        }
+    }
+
+    /// Every mapped address is found; addresses outside all segments are not.
+    #[test]
+    fn find_agrees_with_contains(bases in proptest::collection::vec(0u32..64, 1..8)) {
+        let mut s = AddressSpace::new(Endian::Big);
+        let mut mapped = std::collections::HashSet::new();
+        for (i, &slot) in bases.iter().enumerate() {
+            // Slots of 256 bytes at 512-byte strides: never overlap.
+            let base = slot * 512;
+            if s.map(SegmentSpec::new(format!("s{i}"), SegmentKind::Data, Addr::new(base), 256)).is_ok() {
+                mapped.insert(slot);
+            }
+        }
+        for slot in 0u32..64 {
+            let inside = Addr::new(slot * 512 + 128);
+            let outside = Addr::new(slot * 512 + 384);
+            prop_assert_eq!(s.is_mapped(inside), mapped.contains(&slot));
+            prop_assert!(!s.is_mapped(outside));
+        }
+    }
+
+    /// `fill` then `bytes_at` observes the fill; neighbours untouched.
+    #[test]
+    fn fill_exact_range(start in 0u32..200, len in 1u32..56) {
+        let mut s = AddressSpace::new(Endian::Little);
+        s.map(SegmentSpec::new("t", SegmentKind::Data, Addr::new(0), 256)).unwrap();
+        s.fill(Addr::new(start), len, 0xcc).unwrap();
+        let all = s.bytes_at(Addr::new(0), 256).unwrap();
+        for (i, &b) in all.iter().enumerate() {
+            let i = i as u32;
+            if i >= start && i < start + len {
+                prop_assert_eq!(b, 0xcc);
+            } else {
+                prop_assert_eq!(b, 0);
+            }
+        }
+    }
+}

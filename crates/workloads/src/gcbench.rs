@@ -1,0 +1,237 @@
+//! GCBench — Boehm's classic collector stress benchmark, adapted to the
+//! simulated machine.
+//!
+//! Not an experiment from the paper itself, but the canonical workload its
+//! author distributed with the collector the paper describes: build
+//! complete binary trees top-down and bottom-up at increasing depths,
+//! keeping a long-lived tree and a large pointer-free array alive
+//! throughout, and churn short-lived trees in between. It exercises every
+//! subsystem at once — size classes, large objects, the mark stack on deep
+//! structures, finalizer-free reclamation — and is used here as a
+//! whole-collector validation and throughput workload.
+
+use gc_heap::ObjectKind;
+use gc_machine::Machine;
+use gc_vmspace::Addr;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Shape of a GCBench run.
+#[derive(Clone, Copy, Debug)]
+pub struct GcBench {
+    /// Depth of the long-lived tree (classic: 16; scaled default 12).
+    pub long_lived_depth: u32,
+    /// Maximum short-lived tree depth (classic: 16; scaled default 12).
+    pub max_depth: u32,
+    /// Minimum short-lived tree depth (classic: 4).
+    pub min_depth: u32,
+    /// Size of the long-lived pointer-free array in bytes (classic: 4 MB
+    /// of doubles; scaled default 512 KB).
+    pub array_bytes: u32,
+}
+
+impl GcBench {
+    /// The classic parameters (depth 16, 4 MB array) — heavy; prefer
+    /// [`GcBench::scaled`] in tests.
+    pub fn classic() -> Self {
+        GcBench { long_lived_depth: 16, max_depth: 16, min_depth: 4, array_bytes: 4 << 20 }
+    }
+
+    /// A scaled configuration that runs in well under a second.
+    pub fn scaled() -> Self {
+        GcBench { long_lived_depth: 12, max_depth: 12, min_depth: 4, array_bytes: 512 << 10 }
+    }
+
+    /// Nodes in a complete binary tree of the given depth.
+    fn tree_size(depth: u32) -> u64 {
+        (1u64 << (depth + 1)) - 1
+    }
+
+    /// Runs the benchmark; returns timing and verification results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's heap cannot hold the configured trees (a
+    /// configuration bug) or if a liveness check fails (a collector bug).
+    pub fn run(&self, m: &mut Machine) -> GcBenchReport {
+        let t0 = Instant::now();
+        let long_root = m.alloc_static(1);
+        let array_root = m.alloc_static(1);
+        let scratch = m.alloc_static(1);
+
+        // Long-lived structures.
+        let long_lived = make_tree_bottom_up(m, scratch, self.long_lived_depth);
+        m.store(long_root, long_lived.raw());
+        let array = m
+            .alloc(self.array_bytes, ObjectKind::Atomic)
+            .expect("heap holds the long-lived array");
+        m.store(array_root, array.raw());
+        for k in 0..(self.array_bytes / 4).min(4096) {
+            m.store(array + k * 4, 1_000_000_000 / (k + 1));
+        }
+
+        // Short-lived churn at increasing depths, both construction orders.
+        let mut trees_built = 0u64;
+        let mut nodes_built = 0u64;
+        let mut depth = self.min_depth;
+        while depth <= self.max_depth {
+            let iterations = (Self::tree_size(self.max_depth)
+                / Self::tree_size(depth))
+                .clamp(1, 64) as u32;
+            for i in 0..iterations {
+                let tree = if i % 2 == 0 {
+                    make_tree_top_down(m, scratch, depth)
+                } else {
+                    make_tree_bottom_up(m, scratch, depth)
+                };
+                // Keep it momentarily, then drop.
+                m.store(scratch, tree.raw());
+                m.store(scratch, 0);
+                trees_built += 1;
+                nodes_built += Self::tree_size(depth);
+            }
+            depth += 2;
+        }
+
+        // Verify the long-lived structures survived all the churn.
+        let stats = m.collect();
+        let long_live = m.gc().is_live(Addr::new(m.load(long_root)));
+        let array_live = m.gc().is_live(Addr::new(m.load(array_root)));
+        assert!(long_live, "long-lived tree must survive GCBench");
+        assert!(array_live, "long-lived array must survive GCBench");
+        let expected_floor = Self::tree_size(self.long_lived_depth);
+        assert!(
+            stats.objects_marked >= expected_floor,
+            "live set at least the long-lived tree: {} < {expected_floor}",
+            stats.objects_marked
+        );
+
+        GcBenchReport {
+            elapsed: t0.elapsed(),
+            trees_built,
+            nodes_built,
+            collections: m.gc().gc_count(),
+            final_live_objects: stats.sweep.objects_live,
+            final_heap_pages: m.gc().heap().stats().mapped_pages,
+        }
+    }
+}
+
+/// GCBench `Node`: `[left, right, i, j]` — 16 bytes.
+fn new_node(m: &mut Machine, scratch: Addr, left: u32, right: u32) -> Addr {
+    // Root the halves across the allocation (the C original holds them in
+    // locals; our scratch static plays that role for the bottom-up order).
+    let node = m.alloc(16, ObjectKind::Composite).expect("heap has room for a node");
+    m.store(node, left);
+    m.store(node + 4, right);
+    let _ = scratch;
+    node
+}
+
+/// Classic `MakeTree`: allocate the node first, then the subtrees.
+fn make_tree_top_down(m: &mut Machine, scratch: Addr, depth: u32) -> Addr {
+    m.call(2, |m| {
+        let node = new_node(m, scratch, 0, 0);
+        m.set_local(0, node.raw());
+        if depth > 0 {
+            let left = make_tree_top_down(m, scratch, depth - 1);
+            m.store(node, left.raw());
+            let right = make_tree_top_down(m, scratch, depth - 1);
+            m.store(node + 4, right.raw());
+        }
+        node
+    })
+}
+
+/// Classic `Populate` order: build subtrees first, then the parent.
+fn make_tree_bottom_up(m: &mut Machine, scratch: Addr, depth: u32) -> Addr {
+    m.call(2, |m| {
+        if depth == 0 {
+            new_node(m, scratch, 0, 0)
+        } else {
+            let left = make_tree_bottom_up(m, scratch, depth - 1);
+            m.set_local(0, left.raw());
+            let right = make_tree_bottom_up(m, scratch, depth - 1);
+            m.set_local(1, right.raw());
+            new_node(m, scratch, left.raw(), right.raw())
+        }
+    })
+}
+
+/// Results of a GCBench run.
+#[derive(Clone, Copy, Debug)]
+pub struct GcBenchReport {
+    /// Wall-clock duration.
+    pub elapsed: Duration,
+    /// Short-lived trees built.
+    pub trees_built: u64,
+    /// Total nodes allocated for short-lived trees.
+    pub nodes_built: u64,
+    /// Collections that ran.
+    pub collections: u64,
+    /// Live objects after the final collection.
+    pub final_live_objects: u64,
+    /// Heap pages mapped at the end.
+    pub final_heap_pages: u32,
+}
+
+impl fmt::Display for GcBenchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GCBench: {} trees / {} nodes in {:?}; {} GCs; {} live objects, {} pages at end",
+            self.trees_built,
+            self.nodes_built,
+            self.elapsed,
+            self.collections,
+            self.final_live_objects,
+            self.final_heap_pages
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_platforms::{BuildOptions, Profile};
+
+    #[test]
+    fn scaled_gcbench_completes_and_reclaims() {
+        let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
+        let r = GcBench::scaled().run(&mut m);
+        assert!(r.trees_built > 50, "{r}");
+        assert!(r.collections > 0, "{r}");
+        // The final live set is dominated by the long-lived tree (8191
+        // nodes at depth 12) plus the array; churn is reclaimed.
+        assert!(
+            r.final_live_objects < 3 * GcBench::tree_size(12),
+            "short-lived churn was reclaimed: {r}"
+        );
+    }
+
+    #[test]
+    fn gcbench_under_generational_mode() {
+        let mut profile = Profile::synthetic();
+        profile.max_heap_bytes = 128 << 20;
+        let mut platform = profile.build_custom(BuildOptions::default(), |gc| {
+            gc.generational = true;
+            gc.full_gc_every = 4;
+        });
+        let r = GcBench::scaled().run(&mut platform.machine);
+        assert!(r.collections > 0, "{r}");
+        assert!(
+            platform.machine.gc().stats().minor_collections > 0,
+            "minor collections participated"
+        );
+    }
+
+    #[test]
+    fn gcbench_under_incremental_mode() {
+        let mut platform = Profile::synthetic().build_custom(BuildOptions::default(), |gc| {
+            gc.incremental = true;
+            gc.incremental_budget = 1024;
+        });
+        let r = GcBench::scaled().run(&mut platform.machine);
+        assert!(r.trees_built > 50, "{r}");
+    }
+}

@@ -1,0 +1,286 @@
+//! The figures 3/4 experiment: embedded links vs. separate cons-cells.
+//!
+//! §4 of the paper: a rectangular grid of vertices linked both
+//! horizontally and vertically. With *embedded* link fields (figure 3), one
+//! false reference is expected to retain a large fraction of the whole
+//! structure; with separate lisp-style *cons-cells* (figure 4), "at most a
+//! single row or column is affected". The experiment builds both
+//! representations, drops the real roots, injects false references, and
+//! measures what stays live.
+
+use gc_heap::ObjectKind;
+use gc_machine::Machine;
+use gc_vmspace::Addr;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Grid representation, per the paper's two figures.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum GridStyle {
+    /// Figure 3: each vertex embeds `right` and `down` pointers.
+    EmbeddedLinks,
+    /// Figure 4: vertices are plain payloads; rows and columns are chains
+    /// of separate cons-cells.
+    ConsCells,
+}
+
+impl fmt::Display for GridStyle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GridStyle::EmbeddedLinks => f.write_str("embedded links (fig. 3)"),
+            GridStyle::ConsCells => f.write_str("separate cons-cells (fig. 4)"),
+        }
+    }
+}
+
+/// Shape of the grid experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct Grid {
+    /// Grid rows.
+    pub rows: u32,
+    /// Grid columns.
+    pub cols: u32,
+    /// Representation under test.
+    pub style: GridStyle,
+}
+
+impl Grid {
+    /// A representative large grid.
+    pub fn paper(style: GridStyle) -> Self {
+        Grid { rows: 100, cols: 100, style }
+    }
+
+    /// Builds the grid, drops the real roots, injects `false_refs` false
+    /// references (uniform over all heap objects of the structure), and
+    /// reports retention after collection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's heap cannot hold the grid.
+    pub fn run(&self, m: &mut Machine, false_refs: u32, seed: u64) -> GridReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let root = m.alloc_static(1);
+        let objects = match self.style {
+            GridStyle::EmbeddedLinks => self.build_embedded(m, root),
+            GridStyle::ConsCells => self.build_cons(m, root),
+        };
+        let total_objects = objects.len() as u64;
+        m.collect();
+        let live_with_root = current_live(m);
+
+        // Drop the real root and plant false references in static junk
+        // slots, as a polluted image would.
+        m.store(root, 0);
+        // False references land uniformly over the structure's data mass;
+        // the cons representation's tiny header is excluded (a ref to it
+        // would trivially retain everything, which is not the phenomenon
+        // under study).
+        let candidates: &[Addr] = match self.style {
+            GridStyle::ConsCells => &objects[1..],
+            GridStyle::EmbeddedLinks => &objects[..],
+        };
+        for _ in 0..false_refs {
+            let slot = m.alloc_static(1);
+            let target = candidates[rng.random_range(0..candidates.len())];
+            m.store(slot, target.raw());
+        }
+        m.collect();
+        let retained = current_live(m);
+        GridReport {
+            style: self.style,
+            total_objects,
+            live_with_root,
+            retained_objects: retained.0,
+            retained_bytes: retained.1,
+            false_refs,
+        }
+    }
+
+    /// Figure 3: vertices `[right, down, payload]`, rooted at the
+    /// top-left vertex.
+    fn build_embedded(&self, m: &mut Machine, root: Addr) -> Vec<Addr> {
+        let mut cells = Vec::with_capacity((self.rows * self.cols) as usize);
+        // Allocate row by row, linking rights immediately and downs on the
+        // next row; keep everything rooted through `root` -> first vertex
+        // by linking as we go (right links first).
+        let mut prev_row: Vec<Addr> = Vec::new();
+        for r in 0..self.rows {
+            let mut row: Vec<Addr> = Vec::with_capacity(self.cols as usize);
+            for c in 0..self.cols {
+                let v = m.alloc(12, ObjectKind::Composite).expect("heap has room");
+                m.store(v + 8, r * self.cols + c);
+                if c > 0 {
+                    m.store(row[c as usize - 1], v.raw()); // right link
+                }
+                if r > 0 {
+                    m.store(prev_row[c as usize] + 4, v.raw()); // down link
+                }
+                if r == 0 && c == 0 {
+                    m.store(root, v.raw());
+                }
+                row.push(v);
+            }
+            cells.extend_from_slice(&row);
+            prev_row = row;
+        }
+        cells
+    }
+
+    /// Figure 4: payload vertices (atomic, 4 bytes) plus per-row and
+    /// per-column cons chains `[vertex, next]`, all rooted via a header
+    /// block.
+    fn build_cons(&self, m: &mut Machine, root: Addr) -> Vec<Addr> {
+        let mut objects = Vec::new();
+        // Header object: rows + cols chain heads.
+        let header_words = self.rows + self.cols;
+        let header =
+            m.alloc(header_words * 4, ObjectKind::Composite).expect("heap has room");
+        m.store(root, header.raw());
+        objects.push(header);
+        // Vertices. A scratch static root keeps each fresh vertex alive
+        // across the allocation of its first cons cell (a collection may
+        // strike between the two allocations).
+        let scratch = m.alloc_static(1);
+        let mut vertices = Vec::with_capacity((self.rows * self.cols) as usize);
+        for i in 0..self.rows * self.cols {
+            let v = m.alloc(4, ObjectKind::Atomic).expect("heap has room");
+            m.store(v, i);
+            m.store(scratch, v.raw());
+            vertices.push(v);
+            objects.push(v);
+            let r = i / self.cols;
+            let cell = m.alloc(8, ObjectKind::Composite).expect("heap has room");
+            m.store(cell, v.raw());
+            m.store(cell + 4, m.load(header + r * 4));
+            m.store(header + r * 4, cell.raw());
+            objects.push(cell);
+        }
+        m.store(scratch, 0);
+        // Column chains.
+        for c in 0..self.cols {
+            for r in 0..self.rows {
+                let v = vertices[(r * self.cols + c) as usize];
+                let cell = m.alloc(8, ObjectKind::Composite).expect("heap has room");
+                m.store(cell, v.raw());
+                m.store(cell + 4, m.load(header + (self.rows + c) * 4));
+                m.store(header + (self.rows + c) * 4, cell.raw());
+                objects.push(cell);
+            }
+        }
+        objects
+    }
+}
+
+fn current_live(m: &Machine) -> (u64, u64) {
+    let s = m.gc().heap().stats();
+    (
+        m.gc().heap().live_objects().count() as u64,
+        s.bytes_live,
+    )
+}
+
+/// Results of the grid experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct GridReport {
+    /// Representation measured.
+    pub style: GridStyle,
+    /// Objects in the structure.
+    pub total_objects: u64,
+    /// (objects, bytes) live while really rooted.
+    pub live_with_root: (u64, u64),
+    /// Objects still live after dropping roots and injecting false refs.
+    pub retained_objects: u64,
+    /// Bytes still live.
+    pub retained_bytes: u64,
+    /// Number of injected false references.
+    pub false_refs: u32,
+}
+
+impl GridReport {
+    /// Fraction of the structure retained by the false references.
+    pub fn fraction_retained(&self) -> f64 {
+        self.retained_objects as f64 / self.total_objects as f64
+    }
+}
+
+impl fmt::Display for GridReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} false ref(s) retain {}/{} objects ({:.1}%)",
+            self.style,
+            self.false_refs,
+            self.retained_objects,
+            self.total_objects,
+            100.0 * self.fraction_retained()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_platforms::{BuildOptions, Profile};
+
+    fn machine() -> Machine {
+        Profile::synthetic().build(BuildOptions::default()).machine
+    }
+
+    #[test]
+    fn embedded_grid_retains_large_fraction() {
+        let mut m = machine();
+        let grid = Grid { rows: 30, cols: 30, style: GridStyle::EmbeddedLinks };
+        let r = grid.run(&mut m, 1, 7);
+        // A single false reference to a random vertex retains everything
+        // reachable right/down from it — on average about a quarter of the
+        // grid, and far more than one row+column.
+        assert!(
+            r.retained_objects > u64::from(grid.rows + grid.cols),
+            "embedded links over-retain: {r}"
+        );
+    }
+
+    #[test]
+    fn cons_grid_retains_at_most_rows_plus_cols() {
+        let mut m = machine();
+        let grid = Grid { rows: 30, cols: 30, style: GridStyle::ConsCells };
+        let r = grid.run(&mut m, 1, 7);
+        // One false reference pins at most one row chain or column chain
+        // (cons cells + vertices), never the transitive grid.
+        let bound = u64::from(2 * (grid.rows + grid.cols) + 2);
+        assert!(
+            r.retained_objects <= bound,
+            "cons-cells bound violated: {} > {bound}",
+            r.retained_objects
+        );
+    }
+
+    #[test]
+    fn no_false_refs_means_no_retention() {
+        for style in [GridStyle::EmbeddedLinks, GridStyle::ConsCells] {
+            let mut m = machine();
+            let r = Grid { rows: 10, cols: 10, style }.run(&mut m, 0, 1);
+            assert_eq!(r.retained_objects, 0, "{style}");
+        }
+    }
+
+    #[test]
+    fn rooted_grid_is_fully_live() {
+        let mut m = machine();
+        let grid = Grid { rows: 10, cols: 10, style: GridStyle::EmbeddedLinks };
+        let r = grid.run(&mut m, 0, 1);
+        assert_eq!(r.live_with_root.0, 100, "all vertices live while rooted");
+        assert_eq!(r.total_objects, 100);
+    }
+
+    #[test]
+    fn cons_grid_object_inventory() {
+        let mut m = machine();
+        let grid = Grid { rows: 5, cols: 4, style: GridStyle::ConsCells };
+        let r = grid.run(&mut m, 0, 1);
+        // header + 20 vertices + 20 row cells + 20 col cells
+        assert_eq!(r.total_objects, 1 + 20 + 20 + 20);
+        assert_eq!(r.live_with_root.0, r.total_objects);
+    }
+}

@@ -1,0 +1,40 @@
+//! The paper's client programs, written against the simulated machine.
+//!
+//! * [`ProgramT`] — appendix A's Program T (the Table-1 workload): 200
+//!   circular lists of 100 KB each, allocated and dropped, measuring how
+//!   many fail to be collected.
+//! * [`Reverse`] — §3.1's recursive non-destructive list reversal, whose
+//!   stale accumulator pointers inflate apparent liveness.
+//! * [`Grid`] — §4's rectangular grid in both representations (figures
+//!   3/4): embedded link fields vs. separate cons-cells.
+//! * [`QueueRun`] — §4's queue with a bounded live window, leaking
+//!   unboundedly under one false reference unless links are cleared.
+//! * [`StreamRun`] — §4's lazy list: a consumed memoized stream whose
+//!   forced prefix a single false reference keeps alive.
+//! * [`TreeRun`] — §4's balanced binary tree, where one false reference
+//!   retains only about `height` nodes.
+//! * [`GcBench`] — the classic Boehm collector stress benchmark, used as a
+//!   whole-collector validation and throughput workload.
+//!
+//! All workloads keep live pointers in machine-visible locations (statics,
+//! frame locals) so the conservative collector — not the Rust harness — is
+//! what keeps them alive.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gcbench;
+mod grid;
+mod program_t;
+mod queue;
+mod reverse;
+mod stream;
+mod tree;
+
+pub use gcbench::{GcBench, GcBenchReport};
+pub use grid::{Grid, GridReport, GridStyle};
+pub use program_t::{ProgramT, ProgramTReport, Tick};
+pub use queue::{QueueRun, QueueReport};
+pub use reverse::{Reverse, ReverseReport};
+pub use stream::{StreamReport, StreamRun};
+pub use tree::{TreeReport, TreeRun};

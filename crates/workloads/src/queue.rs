@@ -1,0 +1,186 @@
+//! The §4 queue experiment: bounded live window, unbounded false-ref growth.
+//!
+//! "Queues and lazy lists in particular have the problem that they grow
+//! without bound, but typically only a section of bounded length is
+//! accessible at any point. A false reference can result in retention of
+//! all the inaccessible elements, and thus unbounded heap growth. …
+//! Queues no longer grow without bound if the queue link field is cleared
+//! when an item is removed."
+
+use gc_heap::ObjectKind;
+use gc_machine::Machine;
+use gc_vmspace::Addr;
+use std::fmt;
+
+/// Shape of the queue experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueRun {
+    /// Total enqueue operations.
+    pub operations: u32,
+    /// Steady-state live window (elements between head and tail).
+    pub window: u32,
+    /// Whether dequeue clears the dequeued node's link field (the paper's
+    /// remedy: "clearing links is much safer than explicit deallocation").
+    pub clear_links: bool,
+    /// Operation index at which a false reference to the node *currently
+    /// at the head* is planted (`None` for a clean run).
+    pub false_ref_at: Option<u32>,
+}
+
+impl QueueRun {
+    /// A representative configuration.
+    pub fn paper(clear_links: bool) -> Self {
+        QueueRun {
+            operations: 20_000,
+            window: 50,
+            clear_links,
+            false_ref_at: Some(1000),
+        }
+    }
+
+    /// Runs the experiment. Nodes are 12-byte `[next, payload, pad]`
+    /// objects; head/tail pointers live in static data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's heap limit is hit — which is precisely the
+    /// unbounded-growth failure mode; size the heap to observe growth
+    /// without crashing.
+    pub fn run(&self, m: &mut Machine) -> QueueReport {
+        let head = m.alloc_static(1);
+        let tail = m.alloc_static(1);
+        let junk = m.alloc_static(1);
+        let mut max_live_objects = 0u64;
+        let mut enqueued = 0u32;
+
+        let enqueue = |m: &mut Machine, head: Addr, tail: Addr, payload: u32| {
+            let node = m.alloc(12, ObjectKind::Composite).expect("heap has room");
+            m.store(node + 4, payload);
+            let t = m.load(tail);
+            if t == 0 {
+                m.store(head, node.raw());
+            } else {
+                m.store(Addr::new(t), node.raw());
+            }
+            m.store(tail, node.raw());
+        };
+
+        for op in 0..self.operations {
+            enqueue(m, head, tail, op);
+            enqueued += 1;
+            if enqueued > self.window {
+                // Dequeue.
+                let h = m.load(head);
+                let next = m.load(Addr::new(h));
+                if Some(op) == self.false_ref_at {
+                    // An integer in static junk happens to equal the node's
+                    // address.
+                    m.store(junk, h);
+                }
+                if self.clear_links {
+                    m.store(Addr::new(h), 0);
+                }
+                m.store(head, next);
+                enqueued -= 1;
+            }
+            if op % 512 == 0 {
+                let live = m.collect().sweep.objects_live;
+                max_live_objects = max_live_objects.max(live);
+            }
+        }
+        let final_live = m.collect().sweep.objects_live;
+        max_live_objects = max_live_objects.max(final_live);
+        QueueReport {
+            operations: self.operations,
+            window: self.window,
+            clear_links: self.clear_links,
+            max_live_objects,
+            final_live_objects: final_live,
+        }
+    }
+}
+
+/// Results of the queue experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct QueueReport {
+    /// Total enqueues performed.
+    pub operations: u32,
+    /// Configured live window.
+    pub window: u32,
+    /// Whether links were cleared on dequeue.
+    pub clear_links: bool,
+    /// Peak live objects observed.
+    pub max_live_objects: u64,
+    /// Live objects after the final collection.
+    pub final_live_objects: u64,
+}
+
+impl fmt::Display for QueueReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "queue({} ops, window {}, clear_links={}): peak {} live, final {} live",
+            self.operations, self.window, self.clear_links, self.max_live_objects, self.final_live_objects
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_platforms::{BuildOptions, Profile};
+
+    fn machine() -> Machine {
+        Profile::synthetic().build(BuildOptions::default()).machine
+    }
+
+    #[test]
+    fn clean_queue_stays_bounded() {
+        let mut m = machine();
+        let r = QueueRun {
+            operations: 4000,
+            window: 32,
+            clear_links: false,
+            false_ref_at: None,
+        }
+        .run(&mut m);
+        assert!(
+            r.max_live_objects <= 40,
+            "no false refs: live stays near the window: {r}"
+        );
+    }
+
+    #[test]
+    fn false_ref_without_clearing_grows_unboundedly() {
+        let mut m = machine();
+        let r = QueueRun {
+            operations: 4000,
+            window: 32,
+            clear_links: false,
+            false_ref_at: Some(100),
+        }
+        .run(&mut m);
+        // Everything enqueued after the pinned node stays reachable through
+        // its link chain: ~all subsequent operations accumulate.
+        assert!(
+            r.final_live_objects > 3000,
+            "uncleared links leak every later node: {r}"
+        );
+    }
+
+    #[test]
+    fn clearing_links_bounds_the_damage() {
+        let mut m = machine();
+        let r = QueueRun {
+            operations: 4000,
+            window: 32,
+            clear_links: true,
+            false_ref_at: Some(100),
+        }
+        .run(&mut m);
+        assert!(
+            r.final_live_objects <= 40,
+            "a cleared link pins only the single node: {r}"
+        );
+    }
+}

@@ -1,0 +1,143 @@
+//! The §4 lazy-list experiment.
+//!
+//! "Queues and lazy lists in particular have the problem that they grow
+//! without bound, but typically only a section of bounded length is
+//! accessible at any point."
+//!
+//! A lazy list (memoized stream) is consumed by advancing a cursor: each
+//! step forces the next cell and drops the reference to the previous one.
+//! Everything behind the cursor is garbage — unless a false reference
+//! pins some old cell, in which case the entire forced prefix from that
+//! cell onward stays reachable through the memoized `next` links, and the
+//! stream's footprint grows without bound as consumption continues.
+
+use gc_heap::ObjectKind;
+use gc_machine::Machine;
+use gc_vmspace::Addr;
+use std::fmt;
+
+/// Shape of the stream experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamRun {
+    /// Stream cells forced (consumption steps).
+    pub steps: u32,
+    /// Step at which a false reference to the current cell is planted
+    /// (`None` for a clean run).
+    pub false_ref_at: Option<u32>,
+    /// Whether the consumer severs the memoized link as it advances
+    /// (trading re-computation for collectability — the stream analogue of
+    /// the paper's queue-link clearing).
+    pub sever_links: bool,
+}
+
+impl StreamRun {
+    /// A representative configuration.
+    pub fn paper(sever_links: bool) -> Self {
+        StreamRun { steps: 15_000, false_ref_at: Some(500), sever_links }
+    }
+
+    /// Runs the experiment. Stream cells are 12-byte
+    /// `[value, next, flags]` records; only the cursor lives in statics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's heap limit is hit (the unbounded-growth
+    /// failure mode; size the heap generously to observe growth).
+    pub fn run(&self, m: &mut Machine) -> StreamReport {
+        let cursor = m.alloc_static(1);
+        let junk = m.alloc_static(1);
+
+        // The stream's first cell.
+        let first = m.alloc(12, ObjectKind::Composite).expect("heap has room");
+        m.store(first, 1);
+        m.store(cursor, first.raw());
+
+        let mut max_live = 0u64;
+        for step in 0..self.steps {
+            let cell = Addr::new(m.load(cursor));
+            // Force the next cell (memoized: the producer writes it into
+            // the current cell's `next` field).
+            let next = m.alloc(12, ObjectKind::Composite).expect("heap has room");
+            m.store(next, m.load(cell).wrapping_mul(1103515245).wrapping_add(12345));
+            m.store(cell + 4, next.raw());
+            if Some(step) == self.false_ref_at {
+                // An integer coincides with the current cell's address.
+                m.store(junk, cell.raw());
+            }
+            if self.sever_links {
+                // Advance destructively: the consumed cell no longer
+                // remembers its continuation.
+                m.store(cell + 4, 0);
+            }
+            m.store(cursor, next.raw());
+            if step % 512 == 0 {
+                max_live = max_live.max(m.collect().sweep.objects_live);
+            }
+        }
+        let final_live = m.collect().sweep.objects_live;
+        max_live = max_live.max(final_live);
+        StreamReport {
+            steps: self.steps,
+            sever_links: self.sever_links,
+            max_live_cells: max_live,
+            final_live_cells: final_live,
+        }
+    }
+}
+
+/// Results of the stream experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamReport {
+    /// Consumption steps performed.
+    pub steps: u32,
+    /// Whether memoized links were severed on advance.
+    pub sever_links: bool,
+    /// Peak live cells observed.
+    pub max_live_cells: u64,
+    /// Live cells after the final collection.
+    pub final_live_cells: u64,
+}
+
+impl fmt::Display for StreamReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stream({} steps, sever_links={}): peak {} live cells, final {}",
+            self.steps, self.sever_links, self.max_live_cells, self.final_live_cells
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_platforms::{BuildOptions, Profile};
+
+    fn machine() -> Machine {
+        Profile::synthetic().build(BuildOptions::default()).machine
+    }
+
+    #[test]
+    fn clean_stream_stays_bounded() {
+        let mut m = machine();
+        let r = StreamRun { steps: 3000, false_ref_at: None, sever_links: false }.run(&mut m);
+        assert!(r.max_live_cells <= 8, "only the cursor cell chain is live: {r}");
+    }
+
+    #[test]
+    fn false_ref_pins_the_forced_prefix() {
+        let mut m = machine();
+        let r = StreamRun { steps: 3000, false_ref_at: Some(100), sever_links: false }.run(&mut m);
+        assert!(
+            r.final_live_cells > 2500,
+            "memoized links keep every later cell reachable: {r}"
+        );
+    }
+
+    #[test]
+    fn severing_links_bounds_the_damage() {
+        let mut m = machine();
+        let r = StreamRun { steps: 3000, false_ref_at: Some(100), sever_links: true }.run(&mut m);
+        assert!(r.final_live_cells <= 8, "one pinned cell, nothing behind it: {r}");
+    }
+}

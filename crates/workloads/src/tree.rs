@@ -1,0 +1,176 @@
+//! The §4 balanced-tree experiment.
+//!
+//! "The expected number of vertices retained as a result of a false
+//! reference to a balanced binary tree with child links is approximately
+//! equal to the height of the tree. Thus a large number of false
+//! references to such structures can usually be tolerated."
+//!
+//! (A uniformly random node's expected subtree size in a complete binary
+//! tree of *n* nodes is ≈ log₂ *n*: half the nodes are leaves retaining 1,
+//! a quarter retain 3, and so on.)
+
+use gc_heap::ObjectKind;
+use gc_machine::Machine;
+use gc_vmspace::Addr;
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+
+/// Shape of the tree experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeRun {
+    /// Tree height: the tree is complete with `2^height - 1` nodes.
+    pub height: u32,
+    /// Number of independent single-false-reference trials.
+    pub trials: u32,
+}
+
+impl TreeRun {
+    /// A representative configuration: 2¹⁵−1 = 32 767 nodes.
+    pub fn paper() -> Self {
+        TreeRun { height: 15, trials: 40 }
+    }
+
+    /// Builds the tree, then repeatedly: drops the root, plants one false
+    /// reference to a uniformly random node, collects, and measures the
+    /// retained subtree. Reports the mean retained node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the machine's heap cannot hold the tree.
+    pub fn run(&self, m: &mut Machine, seed: u64) -> TreeReport {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let root = m.alloc_static(1);
+        let junk = m.alloc_static(1);
+        let n = u64::from((1u32 << self.height) - 1);
+
+        let mut samples: Vec<u64> = Vec::with_capacity(self.trials as usize);
+        let mut retained_sum = 0u64;
+        let mut retained_max = 0u64;
+        for _ in 0..self.trials {
+            // A fresh tree per trial: a swept tree cannot be re-rooted.
+            let nodes = self.build(m, root);
+            m.collect();
+            // Drop the root; one false ref to a random node.
+            m.store(root, 0);
+            let target = nodes[rng.random_range(0..nodes.len())];
+            m.store(junk, target.raw());
+            let live = m.collect().sweep.objects_live;
+            samples.push(live);
+            retained_sum += live;
+            retained_max = retained_max.max(live);
+            // Release the pinned remainder before the next trial.
+            m.store(junk, 0);
+            m.collect();
+        }
+        samples.sort_unstable();
+        TreeReport {
+            nodes: n,
+            height: self.height,
+            trials: self.trials,
+            mean_retained: retained_sum as f64 / f64::from(self.trials),
+            median_retained: samples[samples.len() / 2],
+            max_retained: retained_max,
+        }
+    }
+
+    /// Builds a complete binary tree of 12-byte `[left, right, payload]`
+    /// nodes, rooted at `root`; returns all nodes (index 0 = tree root).
+    fn build(&self, m: &mut Machine, root: Addr) -> Vec<Addr> {
+        let count = (1u32 << self.height) - 1;
+        let mut nodes = Vec::with_capacity(count as usize);
+        // Allocate top-down, linking each node into its (already rooted)
+        // parent immediately, so a mid-build collection loses nothing.
+        for i in 0..count {
+            let node = m.alloc(12, ObjectKind::Composite).expect("heap has room");
+            m.store(node + 8, i);
+            if i == 0 {
+                m.store(root, node.raw());
+            } else {
+                let parent = nodes[((i - 1) / 2) as usize];
+                let off = if i % 2 == 1 { 0 } else { 4 };
+                m.store(parent + off, node.raw());
+            }
+            nodes.push(node);
+        }
+        nodes
+    }
+}
+
+/// Results of the tree experiment.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeReport {
+    /// Total nodes in the tree.
+    pub nodes: u64,
+    /// Tree height.
+    pub height: u32,
+    /// Trials run.
+    pub trials: u32,
+    /// Mean nodes retained per single false reference.
+    pub mean_retained: f64,
+    /// Median nodes retained (the mean is heavy-tailed: a rare hit near
+    /// the root retains a huge subtree).
+    pub median_retained: u64,
+    /// Worst case over the trials.
+    pub max_retained: u64,
+}
+
+impl fmt::Display for TreeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "tree of {} nodes (height {}): one false ref retains {:.1} nodes on average (median {}, max {}) over {} trials",
+            self.nodes, self.height, self.mean_retained, self.median_retained, self.max_retained, self.trials
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gc_platforms::{BuildOptions, Profile};
+
+    #[test]
+    fn mean_retention_tracks_height() {
+        let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
+        let run = TreeRun { height: 10, trials: 60 };
+        let r = run.run(&mut m, 11);
+        // Expected retained ≈ height (paper's claim); allow generous slack
+        // for sampling noise.
+        assert!(
+            r.mean_retained >= 2.0 && r.mean_retained <= 4.0 * f64::from(run.height),
+            "mean retained {} vs height {}",
+            r.mean_retained,
+            run.height
+        );
+        assert_eq!(r.nodes, 1023);
+    }
+
+    #[test]
+    fn root_hit_retains_everything() {
+        // Degenerate check on determinism: a ref to the tree root retains
+        // the whole tree.
+        let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
+        let root = m.alloc_static(1);
+        let junk = m.alloc_static(1);
+        let run = TreeRun { height: 6, trials: 1 };
+        let nodes = run.build(&mut m, root);
+        m.store(root, 0);
+        m.store(junk, nodes[0].raw());
+        let live = m.collect().sweep.objects_live;
+        assert_eq!(live, 63);
+    }
+
+    #[test]
+    fn leaf_hit_retains_one() {
+        let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
+        let root = m.alloc_static(1);
+        let junk = m.alloc_static(1);
+        let run = TreeRun { height: 6, trials: 1 };
+        let nodes = run.build(&mut m, root);
+        m.store(root, 0);
+        m.store(junk, nodes.last().expect("tree nonempty").raw());
+        let live = m.collect().sweep.objects_live;
+        assert_eq!(live, 1, "a leaf retains only itself");
+    }
+}

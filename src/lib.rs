@@ -1,0 +1,13 @@
+//! Umbrella crate for the sec-gc reproduction of Boehm's *Space Efficient
+//! Conservative Garbage Collection* (PLDI 1993).
+//!
+//! Re-exports the subsystem crates under one roof. See the README for the
+//! architecture overview and EXPERIMENTS.md for the paper-vs-measured index.
+
+pub use gc_analysis as analysis;
+pub use gc_core as core;
+pub use gc_heap as heap;
+pub use gc_machine as machine;
+pub use gc_platforms as platforms;
+pub use gc_vmspace as vmspace;
+pub use gc_workloads as workloads;

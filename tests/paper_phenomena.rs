@@ -1,0 +1,197 @@
+//! Scaled-down end-to-end reproductions of each paper phenomenon, as
+//! integration tests: if any of these breaks, some experiment binary will
+//! no longer reproduce its table or figure.
+
+use sec_gc::analysis::{dual_heap, fragmentation, zorn};
+use sec_gc::core::{GcConfig, PointerPolicy};
+use sec_gc::heap::HeapConfig;
+use sec_gc::machine::{FramePolicy, Machine, MachineConfig, StackClearing};
+use sec_gc::platforms::{BuildOptions, Profile};
+use sec_gc::vmspace::{Addr, Endian};
+use sec_gc::workloads::{Grid, GridStyle, QueueRun, Reverse, TreeRun};
+
+fn synthetic_machine() -> Machine {
+    Profile::synthetic().build(BuildOptions::default()).machine
+}
+
+/// Figures 3/4: embedded-link grids retain far more per false reference
+/// than cons-cell grids.
+#[test]
+fn f34_grid_styles_differ_by_an_order_of_magnitude() {
+    let mut embedded_total = 0u64;
+    let mut cons_total = 0u64;
+    for seed in 0..10 {
+        let mut m = synthetic_machine();
+        embedded_total += Grid { rows: 24, cols: 24, style: GridStyle::EmbeddedLinks }
+            .run(&mut m, 1, seed)
+            .retained_objects;
+        let mut m = synthetic_machine();
+        cons_total += Grid { rows: 24, cols: 24, style: GridStyle::ConsCells }
+            .run(&mut m, 1, seed)
+            .retained_objects;
+    }
+    assert!(
+        embedded_total > 4 * cons_total,
+        "embedded {embedded_total} vs cons {cons_total}"
+    );
+}
+
+/// §4 queues: growth is unbounded exactly when links are kept.
+#[test]
+fn s4_queue_growth_is_controlled_by_link_clearing() {
+    let run = |clear_links| {
+        let mut m = synthetic_machine();
+        QueueRun { operations: 3000, window: 20, clear_links, false_ref_at: Some(50) }
+            .run(&mut m)
+            .final_live_objects
+    };
+    let kept = run(false);
+    let cleared = run(true);
+    assert!(kept > 2000, "kept links leak every later node: {kept}");
+    assert!(cleared < 30, "cleared links bound the leak: {cleared}");
+}
+
+/// §4 trees: mean retention per false reference grows like the height, not
+/// the size.
+#[test]
+fn s4_tree_retention_grows_logarithmically() {
+    let mut m = synthetic_machine();
+    let small = TreeRun { height: 8, trials: 40 }.run(&mut m, 5);
+    let mut m = synthetic_machine();
+    let large = TreeRun { height: 12, trials: 40 }.run(&mut m, 5);
+    // 16x more nodes, but mean retention grows far slower than 16x.
+    assert!(large.nodes == 16 * small.nodes + 15);
+    assert!(
+        large.mean_retained < 6.0 * small.mean_retained.max(1.0),
+        "mean retention is ~height, not ~size: {} vs {}",
+        small.mean_retained,
+        large.mean_retained
+    );
+}
+
+/// §3.1 reversal: stack clearing lowers the apparent-liveness peak; the
+/// optimized loop build stays near two lists.
+#[test]
+fn s31_reversal_peaks_order_correctly() {
+    let machine = |clearing: bool| {
+        let mut m = Machine::new(MachineConfig {
+            endian: Endian::Big,
+            gc: GcConfig {
+                heap: HeapConfig {
+                    heap_base: Addr::new(0x10_0000),
+                    max_heap_bytes: 64 << 20,
+                    growth_pages: 32,
+                    ..HeapConfig::default()
+                },
+                min_bytes_between_gcs: 16 << 10,
+                free_space_divisor: 1 << 24,
+                ..GcConfig::default()
+            },
+            stack_bytes: 2 << 20,
+            frame: FramePolicy { pad_words: 8, clear_on_push: false },
+            register_windows: 8,
+            allocator_hygiene: false,
+            collector_hygiene: false,
+            stack_clearing: StackClearing {
+                enabled: clearing,
+                every_allocs: 32,
+                max_bytes_per_clear: 64 << 10,
+            },
+            ..MachineConfig::default()
+        });
+        m.add_static_segment(Addr::new(0x2_0000), 4096);
+        m
+    };
+    let shape = Reverse::paper(false).scaled(8);
+    let dirty = shape.run(&mut machine(false)).max_apparent_cells;
+    let clean = shape.run(&mut machine(true)).max_apparent_cells;
+    let optimized = Reverse::paper(true).scaled(8).run(&mut machine(false)).max_apparent_cells;
+    assert!(
+        dirty > clean && clean >= optimized,
+        "peaks must order dirty({dirty}) > cleared({clean}) >= optimized({optimized})"
+    );
+    assert!(
+        dirty as f64 >= 1.5 * optimized as f64,
+        "unoptimized wastes much more: {dirty} vs {optimized}"
+    );
+}
+
+/// Observation 7: the largest placeable object shrinks under the
+/// all-interior policy relative to first-page, never the other way.
+#[test]
+fn o7_large_alloc_ordering() {
+    use sec_gc::analysis::large_alloc::{default_sizes, sweep};
+    let sizes = &default_sizes()[..8];
+    let all = sweep(PointerPolicy::AllInterior, 4 << 20, sizes, 1);
+    let first = sweep(PointerPolicy::FirstPage, 4 << 20, sizes, 1);
+    assert!(all.max_placeable() <= first.max_placeable());
+}
+
+/// Conclusions: GC needs more memory than prompt explicit deallocation.
+#[test]
+fn c1_gc_footprint_exceeds_explicit() {
+    let r = zorn::run(
+        &zorn::ZornRun { operations: 6_000, live_target: 600, ..zorn::ZornRun::default() },
+        3,
+    );
+    assert!(r.gc_overhead_factor() > 1.0);
+}
+
+/// Conclusions: the fragmentation comparison runs and the address-ordered
+/// policy's largest free run is competitive.
+#[test]
+fn c1_fragmentation_comparison_runs() {
+    let config = fragmentation::FragmentationRun {
+        operations: 6_000,
+        live_target: 300,
+        min_bytes: 8,
+        max_bytes: 128,
+    };
+    let (ao, lifo) = fragmentation::compare(&config, 2);
+    assert!(ao.mapped_pages > 0 && lifo.mapped_pages > 0);
+}
+
+/// Footnote 4: the dual-heap oracle never harms and identifies junk on a
+/// polluted image.
+#[test]
+fn fn4_oracle_improves_polluted_image() {
+    let r = dual_heap::run(&Profile::sparc_static(false), 64 << 10, 12, 12);
+    assert!(r.retained_oracle <= r.retained_conservative);
+    assert!(r.words_filtered > 0);
+}
+
+/// Figure 1 as an integration test: halfword scanning misreads the
+/// concatenated integers; word scanning does not.
+#[test]
+fn f1_alignment_controls_concatenation() {
+    use sec_gc::core::{Collector, ScanAlignment};
+    use sec_gc::heap::ObjectKind;
+    use sec_gc::vmspace::{AddressSpace, SegmentKind, SegmentSpec};
+
+    let run = |alignment| {
+        let mut space = AddressSpace::new(Endian::Big);
+        space
+            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 64))
+            .expect("maps");
+        space.write_u32(Addr::new(0x1_0000), 0x0000_0009).expect("mapped");
+        space.write_u32(Addr::new(0x1_0004), 0x0000_000a).expect("mapped");
+        let mut gc = Collector::new(
+            space,
+            GcConfig {
+                heap: HeapConfig { heap_base: Addr::new(0x0009_0000), ..HeapConfig::default() },
+                scan_alignment: alignment,
+                // Expose the raw misidentification: with blacklisting on,
+                // the startup collection would blacklist 0x00090000 first.
+                blacklisting: false,
+                ..GcConfig::default()
+            },
+        );
+        let obj = gc.alloc(8, ObjectKind::Composite).expect("heap has room");
+        assert_eq!(obj.raw(), 0x0009_0000);
+        gc.collect();
+        gc.is_live(obj)
+    };
+    assert!(!run(ScanAlignment::Word));
+    assert!(run(ScanAlignment::HalfWord));
+    assert!(run(ScanAlignment::Byte));
+}
