@@ -56,7 +56,10 @@ fn run_program_t(
 ) -> AblationReport {
     let shape = shape_for(profile, scale);
     let mut platform = profile.build_custom(
-        BuildOptions { seed, ..BuildOptions::default() },
+        BuildOptions {
+            seed,
+            ..BuildOptions::default()
+        },
         tweak,
     );
     let Platform { machine, hooks, .. } = &mut platform;
@@ -76,7 +79,13 @@ fn run_program_t(
 pub fn backend_sweep(seed: u64, scale: u32) -> Vec<AblationReport> {
     let profile = Profile::sparc_static(false);
     let mut out = Vec::new();
-    out.push(run_program_t(&profile, seed, scale, "exact per-page table", |_| {}));
+    out.push(run_program_t(
+        &profile,
+        seed,
+        scale,
+        "exact per-page table",
+        |_| {},
+    ));
     for bits in [18u8, 14, 10, 8] {
         out.push(run_program_t(
             &profile,
@@ -131,7 +140,10 @@ pub fn atomic_exemption(seed: u64) -> (u32, u32) {
     let run = |allow: bool| -> u32 {
         let profile = Profile::sparc_static(false);
         let mut platform = profile.build_custom(
-            BuildOptions { seed, ..BuildOptions::default() },
+            BuildOptions {
+                seed,
+                ..BuildOptions::default()
+            },
             |gc| gc.allow_atomic_on_blacklist = allow,
         );
         let m = &mut platform.machine;

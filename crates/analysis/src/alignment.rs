@@ -50,7 +50,11 @@ pub fn run(alignment: ScanAlignment, blacklisting: bool, seed: u64, scale: u32) 
     let profile = Profile::sparc_static(false);
     let shape = shape_for(&profile, scale);
     let mut platform = profile.build_custom(
-        BuildOptions { seed, blacklisting, ..BuildOptions::default() },
+        BuildOptions {
+            seed,
+            blacklisting,
+            ..BuildOptions::default()
+        },
         |gc| gc.scan_alignment = alignment,
     );
     let Platform { machine, hooks, .. } = &mut platform;
@@ -67,7 +71,11 @@ pub fn run(alignment: ScanAlignment, blacklisting: bool, seed: u64, scale: u32) 
 /// Runs the full 3×2 grid.
 pub fn sweep(seed: u64, scale: u32) -> Vec<AlignmentReport> {
     let mut out = Vec::new();
-    for alignment in [ScanAlignment::Word, ScanAlignment::HalfWord, ScanAlignment::Byte] {
+    for alignment in [
+        ScanAlignment::Word,
+        ScanAlignment::HalfWord,
+        ScanAlignment::Byte,
+    ] {
         for blacklisting in [false, true] {
             out.push(run(alignment, blacklisting, seed, scale));
         }

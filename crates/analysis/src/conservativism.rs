@@ -86,11 +86,20 @@ pub struct ConservativismReport {
 }
 
 /// Runs the experiment under one discipline.
-pub fn run(config: &ConservativismRun, discipline: HeapDiscipline, seed: u64) -> ConservativismReport {
+pub fn run(
+    config: &ConservativismRun,
+    discipline: HeapDiscipline,
+    seed: u64,
+) -> ConservativismReport {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            4096,
+        ))
         .expect("maps");
     let mut gc = Collector::new(
         space,
@@ -122,10 +131,15 @@ pub fn run(config: &ConservativismRun, discipline: HeapDiscipline, seed: u64) ->
                 first = cell.raw();
             }
             head = cell.raw();
-            gc.space_mut().write_u32(roots + i * 4, head).expect("mapped");
+            gc.space_mut()
+                .write_u32(roots + i * 4, head)
+                .expect("mapped");
         }
-        gc.space_mut().write_u32(Addr::new(first), head).expect("mapped");
-        gc.register_finalizer(Addr::new(head), u64::from(i)).expect("live");
+        gc.space_mut()
+            .write_u32(Addr::new(first), head)
+            .expect("mapped");
+        gc.register_finalizer(Addr::new(head), u64::from(i))
+            .expect("live");
     }
     let heap_hi = gc.heap().hi().raw();
     let heap_lo = gc.heap().lo().expect("heap grew").raw();
@@ -137,7 +151,9 @@ pub fn run(config: &ConservativismRun, discipline: HeapDiscipline, seed: u64) ->
         let prev = gc.space().read_u32(chain_slot).expect("mapped");
         let (rec, payload_base) = match discipline {
             HeapDiscipline::FullyConservative => {
-                let rec = gc.alloc(record_words * 4, ObjectKind::Composite).expect("room");
+                let rec = gc
+                    .alloc(record_words * 4, ObjectKind::Composite)
+                    .expect("room");
                 (rec, rec + 4)
             }
             HeapDiscipline::TypedRecords => {
@@ -148,18 +164,25 @@ pub fn run(config: &ConservativismRun, discipline: HeapDiscipline, seed: u64) ->
                 // Record = [next, blob*]; blob is atomic. The record's own
                 // words are conservatively scanned, but the payload data
                 // lives where it cannot be misread.
-                let blob =
-                    gc.alloc(config.payload_words * 4, ObjectKind::Atomic).expect("room");
+                let blob = gc
+                    .alloc(config.payload_words * 4, ObjectKind::Atomic)
+                    .expect("room");
                 let rec = gc.alloc(8, ObjectKind::Composite).expect("room");
-                gc.space_mut().write_u32(rec + 4, blob.raw()).expect("mapped");
+                gc.space_mut()
+                    .write_u32(rec + 4, blob.raw())
+                    .expect("mapped");
                 (rec, blob)
             }
         };
         gc.space_mut().write_u32(rec, prev).expect("mapped");
-        gc.space_mut().write_u32(chain_slot, rec.raw()).expect("mapped");
+        gc.space_mut()
+            .write_u32(chain_slot, rec.raw())
+            .expect("mapped");
         for w in 0..config.payload_words {
             let hash = rng.random_range(heap_lo..heap_hi);
-            gc.space_mut().write_u32(payload_base + w * 4, hash).expect("mapped");
+            gc.space_mut()
+                .write_u32(payload_base + w * 4, hash)
+                .expect("mapped");
         }
     }
 

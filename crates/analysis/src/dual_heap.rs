@@ -39,7 +39,7 @@ pub fn run(profile: &Profile, delta: u32, seed: u64, scale: u32) -> DualHeapRepo
     let shape = crate::table1::shape_for(profile, scale);
     let build = |heap_base_offset: u32| -> (Platform, u32) {
         let mut p = profile.clone();
-        p.heap_base = p.heap_base + heap_base_offset;
+        p.heap_base += heap_base_offset;
         let mut platform = p.build(BuildOptions {
             seed,
             blacklisting: false,
@@ -60,7 +60,9 @@ pub fn run(profile: &Profile, delta: u32, seed: u64, scale: u32) -> DualHeapRepo
         let space_a = run_a.machine.gc().space();
         let space_b = run_b.machine.gc().space();
         for seg_a in space_a.roots() {
-            let Some(seg_b) = space_b.find(seg_a.base()) else { continue };
+            let Some(seg_b) = space_b.find(seg_a.base()) else {
+                continue;
+            };
             if seg_b.base() != seg_a.base() || seg_b.len() != seg_a.len() {
                 continue;
             }

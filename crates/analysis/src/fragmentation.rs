@@ -82,7 +82,9 @@ pub fn run(config: &FragmentationRun, policy: FreeListPolicy, seed: u64) -> Frag
         let target = (f64::from(config.live_target) * breathe) as usize;
         if live.len() < target {
             let bytes = rng.random_range(config.min_bytes..=config.max_bytes);
-            let p = heap.malloc(&mut space, bytes).expect("heap limit is generous");
+            let p = heap
+                .malloc(&mut space, bytes)
+                .expect("heap limit is generous");
             live.push(p);
         } else if !live.is_empty() {
             let idx = rng.random_range(0..live.len());

@@ -29,7 +29,10 @@ pub struct GenerationalRun {
 
 impl Default for GenerationalRun {
     fn default() -> Self {
-        GenerationalRun { iterations: 4_000, chain_len: 24 }
+        GenerationalRun {
+            iterations: 4_000,
+            chain_len: 24,
+        }
     }
 }
 
@@ -97,7 +100,10 @@ pub fn run(config: &GenerationalRun, hygiene: Hygiene, seed: u64) -> Generationa
             ..GcConfig::default()
         },
         stack_bytes: 1 << 20,
-        frame: FramePolicy { pad_words: 8, clear_on_push: false },
+        frame: FramePolicy {
+            pad_words: 8,
+            clear_on_push: false,
+        },
         register_windows: 8,
         allocator_hygiene: hygiene == Hygiene::Clean,
         collector_hygiene: hygiene == Hygiene::Clean,
@@ -195,7 +201,10 @@ mod tests {
     use super::*;
 
     fn small() -> GenerationalRun {
-        GenerationalRun { iterations: 800, chain_len: 16 }
+        GenerationalRun {
+            iterations: 800,
+            chain_len: 16,
+        }
     }
 
     #[test]
@@ -234,7 +243,13 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let rs = compare(&GenerationalRun { iterations: 200, chain_len: 8 }, 1);
+        let rs = compare(
+            &GenerationalRun {
+                iterations: 200,
+                chain_len: 8,
+            },
+            1,
+        );
         let t = comparison_table(&rs).to_string();
         assert!(t.contains("sloppy"));
         assert!(t.contains("clean"));

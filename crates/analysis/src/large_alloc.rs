@@ -41,7 +41,12 @@ pub struct LargeAllocReport {
 impl LargeAllocReport {
     /// The largest size that still placed successfully (0 if none).
     pub fn max_placeable(&self) -> u32 {
-        self.samples.iter().filter(|s| s.ok).map(|s| s.bytes).max().unwrap_or(0)
+        self.samples
+            .iter()
+            .filter(|s| s.ok)
+            .map(|s| s.bytes)
+            .max()
+            .unwrap_or(0)
     }
 
     /// The smallest size that failed, if any.
@@ -56,7 +61,12 @@ impl LargeAllocReport {
 /// `heap_budget_bytes` confines the heap (the paper's situation: the
 /// polluted region is where the heap must live). Each size point uses a
 /// fresh image so placements do not interfere.
-pub fn sweep(policy: PointerPolicy, heap_budget_bytes: u64, sizes: &[u32], seed: u64) -> LargeAllocReport {
+pub fn sweep(
+    policy: PointerPolicy,
+    heap_budget_bytes: u64,
+    sizes: &[u32],
+    seed: u64,
+) -> LargeAllocReport {
     let mut samples = Vec::new();
     for &bytes in sizes {
         let mut profile = Profile::sparc_static(false);
@@ -72,12 +82,16 @@ pub fn sweep(policy: PointerPolicy, heap_budget_bytes: u64, sizes: &[u32], seed:
         let result = m.alloc(bytes, ObjectKind::Composite);
         let pages_denied = match &result {
             Ok(_) => 0,
-            Err(gc_core::GcError::Heap(gc_heap::HeapError::OutOfMemory { pages_denied, .. })) => {
-                *pages_denied
-            }
+            Err(gc_core::GcError::Heap(gc_heap::HeapError::OutOfMemory {
+                pages_denied, ..
+            })) => *pages_denied,
             Err(_) => 0,
         };
-        samples.push(LargeAllocSample { bytes, ok: result.is_ok(), pages_denied });
+        samples.push(LargeAllocSample {
+            bytes,
+            ok: result.is_ok(),
+            pages_denied,
+        });
     }
     LargeAllocReport { policy, samples }
 }
@@ -96,11 +110,7 @@ pub fn default_sizes() -> Vec<u32> {
 impl fmt::Display for LargeAllocReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "large-object placement under {} policy", self.policy)?;
-        let mut t = TextTable::new(vec![
-            "Size".into(),
-            "Placed?".into(),
-            "Pages denied".into(),
-        ]);
+        let mut t = TextTable::new(vec!["Size".into(), "Placed?".into(), "Pages denied".into()]);
         for s in &self.samples {
             t.row(vec![
                 format!("{} KB", s.bytes / 1024),
@@ -144,8 +154,16 @@ mod tests {
         let r = LargeAllocReport {
             policy: PointerPolicy::AllInterior,
             samples: vec![
-                LargeAllocSample { bytes: 4096, ok: true, pages_denied: 0 },
-                LargeAllocSample { bytes: 8192, ok: false, pages_denied: 9 },
+                LargeAllocSample {
+                    bytes: 4096,
+                    ok: true,
+                    pages_denied: 0,
+                },
+                LargeAllocSample {
+                    bytes: 8192,
+                    ok: false,
+                    pages_denied: 9,
+                },
             ],
         };
         assert_eq!(r.max_placeable(), 4096);

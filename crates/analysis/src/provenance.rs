@@ -82,8 +82,10 @@ pub fn classify_retention(m: &Machine, report: &ProgramTReport) -> ProvenanceRep
         *out.by_class.entry(r.class.into()).or_insert(0) += 1;
         explained.insert(r.target.raw());
     }
-    out.unexplained_lists =
-        retained.iter().filter(|rep| !explained.contains(&rep.raw())).count() as u32;
+    out.unexplained_lists = retained
+        .iter()
+        .filter(|rep| !explained.contains(&rep.raw()))
+        .count() as u32;
     out
 }
 
@@ -122,12 +124,21 @@ mod tests {
     fn static_junk_retention_is_classified_as_static() {
         // Without blacklisting on the polluted SPARC profile, retention is
         // dominated by static-data false references.
-        let mut p = Profile::sparc_static(false)
-            .build(BuildOptions { seed: 4, blacklisting: false, ..BuildOptions::default() });
-        let report = ProgramT::paper().scaled(10).run(&mut p.machine, &mut |_| {});
+        let mut p = Profile::sparc_static(false).build(BuildOptions {
+            seed: 4,
+            blacklisting: false,
+            ..BuildOptions::default()
+        });
+        let report = ProgramT::paper()
+            .scaled(10)
+            .run(&mut p.machine, &mut |_| {});
         assert!(report.retained > 0, "scaled run still retains: {report}");
         let prov = classify_retention(&p.machine, &report);
-        let statics = prov.by_class.get(&RootClassKey::Static).copied().unwrap_or(0);
+        let statics = prov
+            .by_class
+            .get(&RootClassKey::Static)
+            .copied()
+            .unwrap_or(0);
         let total: u32 = prov.by_class.values().sum();
         assert!(
             statics * 2 > total,
@@ -138,7 +149,9 @@ mod tests {
     #[test]
     fn clean_run_produces_empty_report() {
         let mut p = Profile::synthetic().build(BuildOptions::default());
-        let report = ProgramT::paper().scaled(20).run(&mut p.machine, &mut |_| {});
+        let report = ProgramT::paper()
+            .scaled(20)
+            .run(&mut p.machine, &mut |_| {});
         let prov = classify_retention(&p.machine, &report);
         assert_eq!(prov.retained_lists, 0);
         assert!(prov.by_class.is_empty());

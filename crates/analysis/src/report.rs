@@ -23,7 +23,10 @@ pub struct TextTable {
 impl TextTable {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
-        TextTable { headers, rows: Vec::new() }
+        TextTable {
+            headers,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -61,7 +64,14 @@ impl TextTable {
         let mut out = String::new();
         let cell = |s: &str| s.replace('|', "\\|");
         out.push_str("| ");
-        out.push_str(&self.headers.iter().map(|h| cell(h)).collect::<Vec<_>>().join(" | "));
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| cell(h))
+                .collect::<Vec<_>>()
+                .join(" | "),
+        );
         out.push_str(" |\n|");
         for _ in &self.headers {
             out.push_str("---|");
@@ -73,6 +83,35 @@ impl TextTable {
             out.push_str(" |\n");
         }
         out
+    }
+
+    /// Renders as a JSON array of objects, one per row, keyed by the
+    /// column headers.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use gc_analysis::TextTable;
+    /// let mut t = TextTable::new(vec!["machine".into()]);
+    /// t.row(vec!["SPARC".into()]);
+    /// assert_eq!(t.to_json(), r#"[{"machine":"SPARC"}]"#);
+    /// ```
+    pub fn to_json(&self) -> String {
+        let quoted = |s: &str| format!("\"{}\"", gc_core::json_escape(s));
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("{}:{}", quoted(h), quoted(c)))
+                    .collect();
+                format!("{{{}}}", fields.join(","))
+            })
+            .collect();
+        format!("[{}]", rows.join(","))
     }
 }
 
@@ -153,6 +192,18 @@ mod tests {
     #[should_panic(expected = "row arity")]
     fn arity_checked() {
         TextTable::new(vec!["a".into()]).row(vec!["x".into(), "y".into()]);
+    }
+
+    #[test]
+    fn renders_json_with_escaping() {
+        let mut t = TextTable::new(vec!["name".into(), "note".into()]);
+        t.row(vec!["a\"b".into(), "line1\nline2".into()]);
+        t.row(vec!["plain".into(), "x".into()]);
+        assert_eq!(
+            t.to_json(),
+            r#"[{"name":"a\"b","note":"line1\nline2"},{"name":"plain","note":"x"}]"#
+        );
+        assert_eq!(TextTable::new(vec!["h".into()]).to_json(), "[]");
     }
 
     #[test]

@@ -19,7 +19,10 @@ pub struct Table1Config {
 
 impl Default for Table1Config {
     fn default() -> Self {
-        Table1Config { seeds: vec![1, 2, 3], scale: 1 }
+        Table1Config {
+            seeds: vec![1, 2, 3],
+            scale: 1,
+        }
     }
 }
 
@@ -33,7 +36,11 @@ pub struct RetentionRange {
 impl RetentionRange {
     /// Lowest observed retention.
     pub fn lo(&self) -> f64 {
-        self.samples.iter().copied().fold(f64::INFINITY, f64::min).min(1.0)
+        self.samples
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .min(1.0)
     }
 
     /// Highest observed retention.
@@ -105,7 +112,10 @@ pub fn run(config: &Table1Config) -> Table1 {
     for profile in Profile::table1_rows() {
         rows.push(run_row(&profile, config));
     }
-    Table1 { rows, config: config.clone() }
+    Table1 {
+        rows,
+        config: config.clone(),
+    }
 }
 
 /// Runs a single profile row of the table.
@@ -183,7 +193,9 @@ mod tests {
 
     #[test]
     fn retention_range_bounds() {
-        let r = RetentionRange { samples: vec![0.1, 0.4, 0.2] };
+        let r = RetentionRange {
+            samples: vec![0.1, 0.4, 0.2],
+        };
         assert_eq!(r.lo(), 0.1);
         assert_eq!(r.hi(), 0.4);
         assert_eq!(r.to_string(), "10-40%");
@@ -194,7 +206,10 @@ mod tests {
         // A fast scaled-down sanity run of the worst row: blacklisting must
         // collapse retention relative to the baseline.
         let profile = Profile::sparc_static(false);
-        let config = Table1Config { seeds: vec![5], scale: 10 };
+        let config = Table1Config {
+            seeds: vec![5],
+            scale: 10,
+        };
         let row = run_row(&profile, &config);
         assert!(
             row.no_blacklisting.hi() > row.blacklisting.hi(),

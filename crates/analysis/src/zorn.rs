@@ -72,7 +72,9 @@ pub fn run(config: &ZornRun, seed: u64) -> ZornReport {
     let mut live: Vec<Addr> = Vec::new();
     let mut explicit_peak = 0u64;
     for _ in 0..config.operations {
-        let p = heap.malloc(&mut space, config.object_bytes).expect("generous limit");
+        let p = heap
+            .malloc(&mut space, config.object_bytes)
+            .expect("generous limit");
         live.push(p);
         if live.len() > config.live_target as usize {
             let idx = rng.random_range(0..live.len());
@@ -89,7 +91,12 @@ pub fn run(config: &ZornRun, seed: u64) -> ZornReport {
     let slots = config.live_target + 1;
     let roots_base = Addr::new(0x2_0000);
     space
-        .map(SegmentSpec::new("live-set", SegmentKind::Bss, roots_base, slots * 4))
+        .map(SegmentSpec::new(
+            "live-set",
+            SegmentKind::Bss,
+            roots_base,
+            slots * 4,
+        ))
         .expect("root array maps");
     let mut gc = Collector::new(
         space,
@@ -109,8 +116,12 @@ pub fn run(config: &ZornRun, seed: u64) -> ZornReport {
     let mut filled = 0u32;
     let mut gc_peak = 0u64;
     for _ in 0..config.operations {
-        let p = gc.alloc(config.object_bytes, ObjectKind::Composite).expect("generous limit");
-        gc.space_mut().write_u32(roots_base + next_slot * 4, p.raw()).expect("slot mapped");
+        let p = gc
+            .alloc(config.object_bytes, ObjectKind::Composite)
+            .expect("generous limit");
+        gc.space_mut()
+            .write_u32(roots_base + next_slot * 4, p.raw())
+            .expect("slot mapped");
         filled = filled.max(next_slot + 1);
         if filled >= slots {
             // Overwrite a random victim slot next (drop without free).
@@ -120,12 +131,19 @@ pub fn run(config: &ZornRun, seed: u64) -> ZornReport {
         }
         gc_peak = gc_peak.max(u64::from(gc.heap().stats().mapped_pages) * 4096);
     }
-    ZornReport { explicit_peak_bytes: explicit_peak, gc_peak_bytes: gc_peak }
+    ZornReport {
+        explicit_peak_bytes: explicit_peak,
+        gc_peak_bytes: gc_peak,
+    }
 }
 
 /// Renders the comparison.
 pub fn table(report: &ZornReport) -> TextTable {
-    let mut t = TextTable::new(vec!["Manager".into(), "Peak footprint".into(), "Relative".into()]);
+    let mut t = TextTable::new(vec![
+        "Manager".into(),
+        "Peak footprint".into(),
+        "Relative".into(),
+    ]);
     t.row(vec![
         "explicit malloc/free".into(),
         format!("{} KB", report.explicit_peak_bytes / 1024),
@@ -168,19 +186,32 @@ mod tests {
             r.gc_overhead_factor() > 1.0,
             "tracing needs headroom over prompt frees: {r}"
         );
-        assert!(
-            r.gc_overhead_factor() < 16.0,
-            "but not absurdly much: {r}"
-        );
+        assert!(r.gc_overhead_factor() < 16.0, "but not absurdly much: {r}");
     }
 
     #[test]
     fn smaller_divisor_means_more_headroom() {
         // free_space_divisor is bdwgc's knob: smaller divisor => collect
         // less often => larger heap.
-        let base = ZornRun { operations: 8_000, live_target: 800, ..ZornRun::default() };
-        let tight = run(&ZornRun { free_space_divisor: 8, ..base }, 7);
-        let roomy = run(&ZornRun { free_space_divisor: 1, ..base }, 7);
+        let base = ZornRun {
+            operations: 8_000,
+            live_target: 800,
+            ..ZornRun::default()
+        };
+        let tight = run(
+            &ZornRun {
+                free_space_divisor: 8,
+                ..base
+            },
+            7,
+        );
+        let roomy = run(
+            &ZornRun {
+                free_space_divisor: 1,
+                ..base
+            },
+            7,
+        );
         assert!(
             roomy.gc_peak_bytes >= tight.gc_peak_bytes,
             "divisor 1 ({} KB) should map at least as much as divisor 8 ({} KB)",
@@ -191,7 +222,10 @@ mod tests {
 
     #[test]
     fn table_renders() {
-        let r = ZornReport { explicit_peak_bytes: 1 << 20, gc_peak_bytes: 2 << 20 };
+        let r = ZornReport {
+            explicit_peak_bytes: 1 << 20,
+            gc_peak_bytes: 2 << 20,
+        };
         let t = table(&r).to_string();
         assert!(t.contains("2.00x"));
     }

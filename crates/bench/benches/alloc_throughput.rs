@@ -17,12 +17,20 @@ use std::hint::black_box;
 fn gc_collector() -> Collector {
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            4096,
+        ))
         .expect("maps");
     Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                ..HeapConfig::default()
+            },
             // Collect at a realistic cadence (the "and collect" part of the
             // paper's claim is included in the amortized cost).
             min_bytes_between_gcs: 256 << 10,

@@ -14,7 +14,12 @@ use std::hint::black_box;
 fn collector(blacklisting: bool) -> Collector {
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 64 << 10))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            64 << 10,
+        ))
         .expect("maps");
     // Sprinkle junk so the blacklist actually has work to do — about as
     // many polluted pages as the paper's SPARC-static image (~670), spread
@@ -27,7 +32,10 @@ fn collector(blacklisting: bool) -> Collector {
     let mut gc = Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                ..HeapConfig::default()
+            },
             blacklisting,
             min_bytes_between_gcs: 128 << 10,
             ..GcConfig::default()

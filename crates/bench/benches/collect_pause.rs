@@ -10,19 +10,29 @@ use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
 fn tree_collector(nodes: u32) -> Collector {
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            4096,
+        ))
         .expect("maps");
     let mut gc = Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                ..HeapConfig::default()
+            },
             min_bytes_between_gcs: u64::MAX,
             ..GcConfig::default()
         },
     );
     // A wide binary tree rooted in static data.
     let root = gc.alloc(12, ObjectKind::Composite).expect("heap has room");
-    gc.space_mut().write_u32(Addr::new(0x1_0000), root.raw()).expect("mapped");
+    gc.space_mut()
+        .write_u32(Addr::new(0x1_0000), root.raw())
+        .expect("mapped");
     let mut frontier = vec![root];
     let mut count = 1;
     'grow: while let Some(parent) = frontier.pop() {
@@ -31,7 +41,9 @@ fn tree_collector(nodes: u32) -> Collector {
                 break 'grow;
             }
             let child = gc.alloc(12, ObjectKind::Composite).expect("heap has room");
-            gc.space_mut().write_u32(parent + off, child.raw()).expect("mapped");
+            gc.space_mut()
+                .write_u32(parent + off, child.raw())
+                .expect("mapped");
             frontier.insert(0, child);
             count += 1;
         }

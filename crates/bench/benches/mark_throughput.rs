@@ -11,12 +11,20 @@ use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
 fn list_collector(cells: u32, kind: ObjectKind) -> Collector {
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            4096,
+        ))
         .expect("maps");
     let mut gc = Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                ..HeapConfig::default()
+            },
             min_bytes_between_gcs: u64::MAX,
             ..GcConfig::default()
         },
@@ -27,7 +35,9 @@ fn list_collector(cells: u32, kind: ObjectKind) -> Collector {
         if kind == ObjectKind::Composite {
             gc.space_mut().write_u32(cell, head).expect("mapped");
         }
-        gc.space_mut().write_u32(Addr::new(0x1_0000), cell.raw()).expect("mapped");
+        gc.space_mut()
+            .write_u32(Addr::new(0x1_0000), cell.raw())
+            .expect("mapped");
         head = cell.raw();
         // Keep every cell alive through a chain of static slots.
         let slot = Addr::new(0x1_0004);

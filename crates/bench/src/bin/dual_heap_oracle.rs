@@ -9,7 +9,9 @@ use gc_platforms::Profile;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(4);
-    println!("SPARC(static) image, blacklisting OFF, heap copies offset by 64 KB (scale 1/{scale})\n");
+    println!(
+        "SPARC(static) image, blacklisting OFF, heap copies offset by 64 KB (scale 1/{scale})\n"
+    );
     for seed in 1..=3u64 {
         let r = dual_heap::run(&Profile::sparc_static(false), 64 << 10, seed, scale);
         println!("seed {seed}: {r}");

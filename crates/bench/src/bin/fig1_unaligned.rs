@@ -13,15 +13,27 @@ use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
 fn run(alignment: ScanAlignment) -> (bool, u64) {
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            4096,
+        ))
         .expect("static segment maps");
     // Figure 1's two integers, stored exactly as the figure shows.
-    space.write_u32(Addr::new(0x1_0000), 0x0000_0009).expect("mapped");
-    space.write_u32(Addr::new(0x1_0004), 0x0000_000a).expect("mapped");
+    space
+        .write_u32(Addr::new(0x1_0000), 0x0000_0009)
+        .expect("mapped");
+    space
+        .write_u32(Addr::new(0x1_0004), 0x0000_000a)
+        .expect("mapped");
     let mut gc = Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x0009_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x0009_0000),
+                ..HeapConfig::default()
+            },
             scan_alignment: alignment,
             // Figure 1 illustrates the raw misidentification problem; with
             // blacklisting on, the startup collection would (correctly!)
@@ -31,7 +43,11 @@ fn run(alignment: ScanAlignment) -> (bool, u64) {
         },
     );
     let obj = gc.alloc(8, ObjectKind::Composite).expect("fresh heap");
-    assert_eq!(obj.raw(), 0x0009_0000, "heap starts at the figure's address");
+    assert_eq!(
+        obj.raw(),
+        0x0009_0000,
+        "heap starts at the figure's address"
+    );
     let stats = gc.collect();
     (gc.is_live(obj), stats.candidates_in_range)
 }
@@ -39,11 +55,19 @@ fn run(alignment: ScanAlignment) -> (bool, u64) {
 fn main() {
     println!("Figure 1: memory holds the integers 0x00000009, 0x0000000a");
     println!("          an object lives at address 0x00090000\n");
-    for alignment in [ScanAlignment::Word, ScanAlignment::HalfWord, ScanAlignment::Byte] {
+    for alignment in [
+        ScanAlignment::Word,
+        ScanAlignment::HalfWord,
+        ScanAlignment::Byte,
+    ] {
         let (retained, candidates) = run(alignment);
         println!(
             "{alignment:>9}-aligned scan: object {} ({} candidate(s) in heap range)",
-            if retained { "RETAINED — misidentification" } else { "collected" },
+            if retained {
+                "RETAINED — misidentification"
+            } else {
+                "collected"
+            },
             candidates,
         );
     }

@@ -22,7 +22,12 @@ fn main() {
         let mut total = 0u64;
         for seed in 0..trials {
             let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
-            let r = Grid { rows: size, cols: size, style }.run(&mut m, 1, seed);
+            let r = Grid {
+                rows: size,
+                cols: size,
+                style,
+            }
+            .run(&mut m, 1, seed);
             sum += r.retained_objects;
             worst = worst.max(r.retained_objects);
             total = r.total_objects;
@@ -30,8 +35,11 @@ fn main() {
         table.row(vec![
             style.to_string(),
             total.to_string(),
-            format!("{:.1} ({:.1}%)", sum as f64 / trials as f64,
-                100.0 * sum as f64 / trials as f64 / total as f64),
+            format!(
+                "{:.1} ({:.1}%)",
+                sum as f64 / trials as f64,
+                100.0 * sum as f64 / trials as f64 / total as f64
+            ),
             format!("{worst}"),
         ]);
     }

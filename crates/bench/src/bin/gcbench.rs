@@ -1,15 +1,24 @@
 //! GCBench — the classic stress benchmark distributed with the collector
 //! the paper describes — run under all three collector modes as a
 //! whole-system throughput check.
+//!
+//! With `--json <path>`, also writes a machine-readable report combining
+//! the result rows with each mode's full collector metrics snapshot.
 
 use gc_analysis::TextTable;
+use gc_bench::{json_array, json_object, json_str, JsonOut};
 use gc_platforms::{BuildOptions, Profile};
 use gc_workloads::GcBench;
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = JsonOut::from_args(&mut args);
     let classic = args.first().map(String::as_str) == Some("classic");
-    let shape = if classic { GcBench::classic() } else { GcBench::scaled() };
+    let shape = if classic {
+        GcBench::classic()
+    } else {
+        GcBench::scaled()
+    };
     println!(
         "GCBench ({}): long-lived depth {}, short-lived depths {}..{} step 2\n",
         if classic { "classic" } else { "scaled" },
@@ -23,6 +32,7 @@ fn main() {
         "GCs".into(),
         "Final heap pages".into(),
     ]);
+    let mut mode_reports: Vec<String> = Vec::new();
     for mode in ["stop-world", "generational", "incremental"] {
         let mut profile = Profile::synthetic();
         profile.max_heap_bytes = 512 << 20;
@@ -44,6 +54,25 @@ fn main() {
             r.collections.to_string(),
             r.final_heap_pages.to_string(),
         ]);
+        if json_out.enabled() {
+            mode_reports.push(json_object(&[
+                ("mode", json_str(mode)),
+                ("elapsed_ns", r.elapsed.as_nanos().to_string()),
+                ("collections", r.collections.to_string()),
+                ("final_heap_pages", r.final_heap_pages.to_string()),
+                ("metrics", platform.machine.gc().metrics_json()),
+            ]));
+        }
     }
     println!("{table}");
+    let document = json_object(&[
+        ("benchmark", json_str("gcbench")),
+        (
+            "variant",
+            json_str(if classic { "classic" } else { "scaled" }),
+        ),
+        ("results", table.to_json()),
+        ("modes", json_array(&mode_reports)),
+    ]);
+    json_out.write(&document).expect("write JSON report");
 }

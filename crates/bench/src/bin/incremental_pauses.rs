@@ -9,6 +9,7 @@
 //! increment, or the dirty-rescan finish.
 
 use gc_analysis::TextTable;
+use gc_bench::{json_array, json_object, json_str, JsonOut};
 use gc_core::{CollectReason, Collector, GcConfig};
 use gc_heap::{HeapConfig, ObjectKind};
 use gc_vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
@@ -17,7 +18,12 @@ use std::time::Duration;
 fn collector(incremental: bool, budget: u32) -> Collector {
     let mut space = AddressSpace::new(Endian::Big);
     space
-        .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+        .map(SegmentSpec::new(
+            "globals",
+            SegmentKind::Data,
+            Addr::new(0x1_0000),
+            4096,
+        ))
         .expect("maps");
     Collector::new(
         space,
@@ -41,11 +47,16 @@ fn build_live_chain(gc: &mut Collector, cells: u32) {
         let cell = gc.alloc(16, ObjectKind::Composite).expect("heap has room");
         gc.space_mut().write_u32(cell, head).expect("mapped");
         head = cell.raw();
-        gc.space_mut().write_u32(Addr::new(0x1_0000), head).expect("mapped");
+        gc.space_mut()
+            .write_u32(Addr::new(0x1_0000), head)
+            .expect("mapped");
     }
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = JsonOut::from_args(&mut args);
+    let mut runs: Vec<String> = Vec::new();
     let mut table = TextTable::new(vec![
         "Live cells".into(),
         "Stop-world pause".into(),
@@ -78,10 +89,25 @@ fn main() {
             increments.to_string(),
             format!("{ratio:.1}x"),
         ]);
+        if json_out.enabled() {
+            runs.push(json_object(&[
+                ("live_cells", cells.to_string()),
+                ("stop_world_pause_ns", full.as_nanos().to_string()),
+                ("incremental_max_pause_ns", max_pause.as_nanos().to_string()),
+                ("increments", increments.to_string()),
+                ("incremental_metrics", gc.metrics_json()),
+            ]));
+        }
         let _ = Duration::ZERO;
     }
     println!("{table}");
     println!("Stop-the-world pauses grow with the live set; the incremental");
     println!("cycle's worst mutator pause is bounded by its budget and the");
     println!("finish phase, as in the mostly-parallel collector ([8]).");
+    let document = json_object(&[
+        ("benchmark", json_str("incremental_pauses")),
+        ("results", table.to_json()),
+        ("runs", json_array(&runs)),
+    ]);
+    json_out.write(&document).expect("write JSON report");
 }

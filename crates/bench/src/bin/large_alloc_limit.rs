@@ -10,7 +10,10 @@ fn main() {
     for policy in [PointerPolicy::AllInterior, PointerPolicy::FirstPage] {
         let mut max_ok = 0u32;
         let mut worst_denied = 0u32;
-        println!("--- policy: {policy}, heap confined to {} MB ---", budget >> 20);
+        println!(
+            "--- policy: {policy}, heap confined to {} MB ---",
+            budget >> 20
+        );
         for seed in 1..=3u64 {
             let r = sweep(policy, budget, &default_sizes(), seed);
             max_ok = max_ok.max(r.max_placeable());

@@ -24,7 +24,12 @@ fn main() {
         let on = run_once(&profile, 1, true, scale);
         table.row(vec![
             format!("{mb} MB live"),
-            if concurrent { "yes (+live data during test)" } else { "no" }.into(),
+            if concurrent {
+                "yes (+live data during test)"
+            } else {
+                "no"
+            }
+            .into(),
             format!("{:.1}%", 100.0 * off.fraction_retained()),
             format!("{:.1}%", 100.0 * on.fraction_retained()),
         ]);

@@ -15,8 +15,11 @@ fn main() {
         (Profile::pcr(4, false), true),
     ] {
         let shape = shape_for(&profile, scale);
-        let mut platform = profile
-            .build(BuildOptions { seed: 1, blacklisting, ..BuildOptions::default() });
+        let mut platform = profile.build(BuildOptions {
+            seed: 1,
+            blacklisting,
+            ..BuildOptions::default()
+        });
         let report = {
             let Platform { machine, hooks, .. } = &mut platform;
             shape.run(machine, &mut |m| hooks.tick(m))

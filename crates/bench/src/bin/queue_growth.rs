@@ -3,10 +3,14 @@
 //! the damage to a single node.
 
 use gc_analysis::TextTable;
+use gc_bench::{json_array, json_object, json_str, JsonOut};
 use gc_platforms::{BuildOptions, Profile};
 use gc_workloads::{QueueRun, StreamRun};
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = JsonOut::from_args(&mut args);
+    let mut queue_metrics: Vec<String> = Vec::new();
     let mut table = TextTable::new(vec![
         "Configuration".into(),
         "Live window".into(),
@@ -14,7 +18,13 @@ fn main() {
         "Final live".into(),
     ]);
     let configs = [
-        ("clean (no false ref)", QueueRun { false_ref_at: None, ..QueueRun::paper(false) }),
+        (
+            "clean (no false ref)",
+            QueueRun {
+                false_ref_at: None,
+                ..QueueRun::paper(false)
+            },
+        ),
         ("false ref, links kept", QueueRun::paper(false)),
         ("false ref, links cleared", QueueRun::paper(true)),
     ];
@@ -27,6 +37,12 @@ fn main() {
             r.max_live_objects.to_string(),
             r.final_live_objects.to_string(),
         ]);
+        if json_out.enabled() {
+            queue_metrics.push(json_object(&[
+                ("configuration", json_str(label)),
+                ("metrics", m.gc().metrics_json()),
+            ]));
+        }
     }
     println!("{}", table);
 
@@ -36,9 +52,18 @@ fn main() {
         "Final live".into(),
     ]);
     let stream_configs = [
-        ("clean (no false ref)", StreamRun { false_ref_at: None, ..StreamRun::paper(false) }),
+        (
+            "clean (no false ref)",
+            StreamRun {
+                false_ref_at: None,
+                ..StreamRun::paper(false)
+            },
+        ),
         ("false ref, memoized links kept", StreamRun::paper(false)),
-        ("false ref, links severed on advance", StreamRun::paper(true)),
+        (
+            "false ref, links severed on advance",
+            StreamRun::paper(true),
+        ),
     ];
     for (label, config) in stream_configs {
         let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
@@ -54,4 +79,11 @@ fn main() {
     println!("that they grow without bound, but typically only a section of");
     println!("bounded length is accessible at any point\"; clearing/severing the");
     println!("link when an item is consumed restores the bound.");
+    let document = json_object(&[
+        ("benchmark", json_str("queue_growth")),
+        ("queue_results", table.to_json()),
+        ("stream_results", stream_table.to_json()),
+        ("queue_metrics", json_array(&queue_metrics)),
+    ]);
+    json_out.write(&document).expect("write JSON report");
 }

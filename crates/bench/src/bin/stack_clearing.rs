@@ -28,7 +28,10 @@ fn sparc_like(clearing: bool) -> Machine {
             ..GcConfig::default()
         },
         stack_bytes: 4 << 20,
-        frame: FramePolicy { pad_words: 12, clear_on_push: false },
+        frame: FramePolicy {
+            pad_words: 12,
+            clear_on_push: false,
+        },
         register_windows: 8,
         allocator_hygiene: false,
         collector_hygiene: false,
@@ -55,7 +58,11 @@ fn main() {
     ]);
     let shape = |optimized| {
         let r = Reverse::paper(optimized);
-        if scale > 1 { r.scaled(scale) } else { r }
+        if scale > 1 {
+            r.scaled(scale)
+        } else {
+            r
+        }
     };
 
     let mut run = |label: &str, optimized: bool, clearing: bool, paper: &str| {

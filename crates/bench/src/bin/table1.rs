@@ -2,12 +2,15 @@
 //!
 //! Usage: `table1 [scale [seed...]]` — scale divides Program T's size
 //! (default 1 = the paper's full 20 MB configuration; use e.g. 10 for a
-//! quick pass). Default seeds: 1 2 3.
+//! quick pass). Default seeds: 1 2 3. With `--json <path>`, also writes
+//! the result rows as a machine-readable report.
 
 use gc_analysis::table1::{self, Table1Config};
+use gc_bench::{json_array, json_object, json_str, JsonOut};
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_out = JsonOut::from_args(&mut args);
     let scale: u32 = args.first().and_then(|s| s.parse().ok()).unwrap_or(1);
     let seeds: Vec<u64> = if args.len() > 1 {
         args[1..].iter().filter_map(|s| s.parse().ok()).collect()
@@ -15,7 +18,10 @@ fn main() {
         vec![1, 2, 3]
     };
     let config = Table1Config { seeds, scale };
-    eprintln!("running Table 1 at scale 1/{} with seeds {:?}…", config.scale, config.seeds);
+    eprintln!(
+        "running Table 1 at scale 1/{} with seeds {:?}…",
+        config.scale, config.seeds
+    );
     let table = table1::run(&config);
     println!("{table}");
     println!("Paper's Table 1 for comparison:");
@@ -28,4 +34,12 @@ fn main() {
     println!("  OS/2(static)    no     28%         3%");
     println!("  OS/2(static)    yes    26%         1%");
     println!("  PCR             mixed  44.5-55%    1.5-3.5%");
+    let seeds_json: Vec<String> = config.seeds.iter().map(u64::to_string).collect();
+    let document = json_object(&[
+        ("benchmark", json_str("table1")),
+        ("scale", config.scale.to_string()),
+        ("seeds", json_array(&seeds_json)),
+        ("results", table.text_table().to_json()),
+    ]);
+    json_out.write(&document).expect("write JSON report");
 }

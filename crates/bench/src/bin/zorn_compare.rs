@@ -6,7 +6,10 @@ use gc_analysis::zorn::{run, table, ZornRun};
 
 fn main() {
     for divisor in [8, 4, 2] {
-        let config = ZornRun { free_space_divisor: divisor, ..ZornRun::default() };
+        let config = ZornRun {
+            free_space_divisor: divisor,
+            ..ZornRun::default()
+        };
         let r = run(&config, 1);
         println!("free_space_divisor = {divisor}:");
         println!("{}", table(&r));

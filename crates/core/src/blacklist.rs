@@ -120,7 +120,12 @@ impl Blacklist {
                 }
             }
         };
-        Blacklist { store, ttl, gc_no: 0, total_noted: 0 }
+        Blacklist {
+            store,
+            ttl,
+            gc_no: 0,
+            total_noted: 0,
+        }
     }
 
     fn hash(page: PageIdx, mask: u32) -> (usize, u32) {
@@ -132,7 +137,10 @@ impl Blacklist {
     /// Begins a collection cycle numbered `gc_no`.
     pub fn begin_cycle(&mut self, gc_no: u64) {
         self.gc_no = gc_no;
-        if let Store::Hashed { current, previous, .. } = &mut self.store {
+        if let Store::Hashed {
+            current, previous, ..
+        } = &mut self.store
+        {
             std::mem::swap(current, previous);
             current.fill(0);
         }
@@ -146,7 +154,10 @@ impl Blacklist {
                 let gc_no = self.gc_no;
                 map.entry(page.raw())
                     .and_modify(|e| e.last_seen = gc_no)
-                    .or_insert(Entry { last_seen: gc_no, source });
+                    .or_insert(Entry {
+                        last_seen: gc_no,
+                        source,
+                    });
             }
             Store::Hashed { current, mask, .. } => {
                 let (w, b) = Self::hash(page, *mask);
@@ -169,7 +180,11 @@ impl Blacklist {
     pub fn contains(&self, page: PageIdx) -> bool {
         match &self.store {
             Store::Exact(map) => map.contains_key(&page.raw()),
-            Store::Hashed { current, previous, mask } => {
+            Store::Hashed {
+                current,
+                previous,
+                mask,
+            } => {
                 let (w, b) = Self::hash(page, *mask);
                 (current[w] | previous[w]) >> b & 1 == 1
             }
@@ -188,7 +203,9 @@ impl Blacklist {
     pub fn len(&self) -> u32 {
         match &self.store {
             Store::Exact(map) => map.len() as u32,
-            Store::Hashed { current, previous, .. } => current
+            Store::Hashed {
+                current, previous, ..
+            } => current
                 .iter()
                 .zip(previous)
                 .map(|(c, p)| (c | p).count_ones())
@@ -274,10 +291,16 @@ mod tests {
             bl.note_false_ref(PageIdx::new(p), RootClass::Static);
         }
         for p in [3u32, 4096, 70000] {
-            assert!(bl.contains(PageIdx::new(p)), "noted page {p} must be blacklisted");
+            assert!(
+                bl.contains(PageIdx::new(p)),
+                "noted page {p} must be blacklisted"
+            );
         }
-        assert!(bl.len() >= 1);
-        assert!(bl.pages().is_empty(), "hashed store has no page enumeration");
+        assert!(!bl.is_empty());
+        assert!(
+            bl.pages().is_empty(),
+            "hashed store has no page enumeration"
+        );
         assert_eq!(bl.source_of(PageIdx::new(3)), None);
     }
 
@@ -300,8 +323,14 @@ mod tests {
         assert_eq!(RootClass::of_segment(SegmentKind::Bss), RootClass::Static);
         assert_eq!(RootClass::of_segment(SegmentKind::Text), RootClass::Static);
         assert_eq!(RootClass::of_segment(SegmentKind::Stack), RootClass::Stack);
-        assert_eq!(RootClass::of_segment(SegmentKind::Registers), RootClass::Registers);
-        assert_eq!(RootClass::of_segment(SegmentKind::Environ), RootClass::Environ);
+        assert_eq!(
+            RootClass::of_segment(SegmentKind::Registers),
+            RootClass::Registers
+        );
+        assert_eq!(
+            RootClass::of_segment(SegmentKind::Environ),
+            RootClass::Environ
+        );
         assert_eq!(RootClass::of_segment(SegmentKind::Heap), RootClass::Heap);
     }
 

@@ -2,8 +2,9 @@
 
 use crate::{
     mark::{MarkOutcome, Marker},
-    Blacklist, CollectKind, CollectReason, CollectionStats, Finalizers, GcConfig, GcError,
-    GcStats, Retainer,
+    telemetry::{self, GcEvent, PhaseTimes},
+    Blacklist, CollectKind, CollectReason, CollectionStats, Finalizers, GcConfig, GcError, GcStats,
+    Retainer,
 };
 use gc_heap::{Descriptor, DescriptorId, Heap, HeapError, ObjRef, ObjectKind, PageUse};
 use gc_vmspace::{Addr, AddressSpace, PageIdx, PAGE_BYTES};
@@ -78,6 +79,8 @@ struct IncState {
     stack: Vec<ObjRef>,
     out: MarkOutcome,
     started: Instant,
+    /// Phase time accumulated across the cycle's increments so far.
+    phases: PhaseTimes,
 }
 
 impl Collector {
@@ -128,6 +131,9 @@ impl Collector {
     /// Returns [`GcError::Heap`] when the heap limit is exhausted even
     /// after a forced collection, or for zero-sized requests.
     pub fn alloc(&mut self, bytes: u32, kind: ObjectKind) -> Result<Addr, GcError> {
+        let t0 = Instant::now();
+        let mapped_before = self.heap.stats().mapped_pages;
+        let work_before = self.stats.collections + self.stats.increments;
         self.start();
         if self.config.incremental {
             // Keep an in-progress cycle moving; start one at the usual
@@ -139,7 +145,7 @@ impl Collector {
             let kind = self.auto_collect_kind();
             self.collect_impl(kind, CollectReason::Automatic);
         }
-        match self.try_alloc(bytes, kind) {
+        let result = match self.try_alloc(bytes, kind) {
             Ok(addr) => {
                 self.allocate_black(addr);
                 Ok(addr)
@@ -152,7 +158,23 @@ impl Collector {
                 Ok(addr)
             }
             Err(e) => Err(e.into()),
+        };
+        let mapped_after = self.heap.stats().mapped_pages;
+        if mapped_after > mapped_before {
+            self.emit(|| GcEvent::HeapGrow {
+                grown_pages: mapped_after - mapped_before,
+                mapped_pages: mapped_after,
+            });
         }
+        // Slow path: the allocation triggered collection work (a
+        // stop-the-world cycle, an incremental step, or the startup
+        // collection) before returning.
+        if self.stats.collections + self.stats.increments > work_before {
+            let duration = t0.elapsed();
+            self.stats.alloc_slow_path.record_duration(duration);
+            self.emit(|| GcEvent::AllocSlowPath { bytes, duration });
+        }
+        result
     }
 
     /// During an incremental cycle, fresh objects are allocated *black*
@@ -237,7 +259,8 @@ impl Collector {
             let config = &self.config;
             let mut pred =
                 |page: PageIdx, use_: PageUse| page_usable(blacklist, config, page, use_);
-            self.heap.alloc_typed(&mut self.space, bytes, desc, &mut pred)
+            self.heap
+                .alloc_typed(&mut self.space, bytes, desc, &mut pred)
         };
         match result {
             Ok(addr) => Ok(addr),
@@ -255,19 +278,47 @@ impl Collector {
         }
     }
 
+    /// Delivers an event to the configured observer, if any. The closure
+    /// defers event construction so the no-observer case stays free.
+    fn emit(&self, event: impl FnOnce() -> GcEvent) {
+        if let Some(observer) = &self.config.observer {
+            let event = event();
+            if let Ok(mut sink) = observer.lock() {
+                sink.on_event(&event);
+            }
+        }
+    }
+
+    /// Reports that the mutator cleared `bytes` bytes of dead stack (the
+    /// paper's §3.1 stack-hygiene measure). Pure telemetry: forwards a
+    /// [`GcEvent::StackClear`] to the observer.
+    pub fn note_stack_clear(&self, bytes: u32) {
+        if bytes > 0 {
+            self.emit(|| GcEvent::StackClear { bytes });
+        }
+    }
+
+    /// Renders a versioned JSON snapshot of the collector's metrics:
+    /// cumulative and last-collection statistics (with the per-phase
+    /// breakdown), pause and allocation-latency histograms, a per-size-class
+    /// heap census, and the blacklist state. Schema version:
+    /// [`telemetry::METRICS_SCHEMA_VERSION`](crate::METRICS_SCHEMA_VERSION).
+    pub fn metrics_json(&self) -> String {
+        telemetry::metrics_json(self)
+    }
+
     fn try_alloc(&mut self, bytes: u32, kind: ObjectKind) -> Result<Addr, HeapError> {
         let blacklist = &self.blacklist;
         let config = &self.config;
-        let mut pred =
-            |page: PageIdx, use_: PageUse| page_usable(blacklist, config, page, use_);
+        let mut pred = |page: PageIdx, use_: PageUse| page_usable(blacklist, config, page, use_);
         self.heap.alloc(&mut self.space, bytes, kind, &mut pred)
     }
 
     fn should_collect(&self) -> bool {
         let s = self.heap.stats();
         let mapped = u64::from(s.mapped_pages) * u64::from(PAGE_BYTES);
-        let threshold =
-            (mapped / u64::from(self.config.free_space_divisor)).max(self.config.min_bytes_between_gcs);
+        let threshold = (mapped / u64::from(self.config.free_space_divisor))
+            .max(self.config.min_bytes_between_gcs);
         s.bytes_since_collect >= threshold
     }
 
@@ -319,7 +370,7 @@ impl Collector {
     pub fn collect_increment(&mut self, reason: CollectReason) -> Option<CollectionStats> {
         self.startup_done = true;
         let t0 = Instant::now();
-        let done = match &mut self.inc {
+        let (done, gc_no) = match &mut self.inc {
             None => {
                 // Cycle start: brief stop-the-world root scan.
                 let gc_no = self.stats.collections + 1;
@@ -327,8 +378,12 @@ impl Collector {
                 self.blacklist.begin_cycle(gc_no);
                 self.heap.clear_marks();
                 self.cards.clear();
-                let mut marker =
-                    Marker::new(&self.space, &mut self.heap, &mut self.blacklist, &self.config);
+                let mut marker = Marker::new(
+                    &self.space,
+                    &mut self.heap,
+                    &mut self.blacklist,
+                    &self.config,
+                );
                 marker.run_roots_only();
                 let stack = marker.take_stack();
                 let out = marker.out;
@@ -339,21 +394,41 @@ impl Collector {
                     stack,
                     out,
                     started: t0,
+                    phases: PhaseTimes {
+                        root_scan: t0.elapsed(),
+                        ..PhaseTimes::default()
+                    },
                 });
-                false
+                self.emit(|| GcEvent::CollectionBegin {
+                    gc_no,
+                    kind: CollectKind::Full,
+                    reason,
+                });
+                (false, gc_no)
             }
             Some(state) => {
-                let mut marker =
-                    Marker::new(&self.space, &mut self.heap, &mut self.blacklist, &self.config);
+                let mut marker = Marker::new(
+                    &self.space,
+                    &mut self.heap,
+                    &mut self.blacklist,
+                    &self.config,
+                );
                 marker.set_stack(std::mem::take(&mut state.stack));
                 let done = marker.drain_budget(self.config.incremental_budget);
                 state.stack = marker.take_stack();
                 accumulate(&mut state.out, marker.out);
-                done
+                state.phases.mark += t0.elapsed();
+                (done, state.gc_no)
             }
         };
         self.stats.increments += 1;
-        self.stats.max_increment_pause = self.stats.max_increment_pause.max(t0.elapsed());
+        let pause = t0.elapsed();
+        self.stats.max_increment_pause = self.stats.max_increment_pause.max(pause);
+        self.stats.pause_times.record_duration(pause);
+        self.emit(|| GcEvent::IncrementalPause {
+            gc_no,
+            duration: pause,
+        });
         if !done {
             return None;
         }
@@ -364,19 +439,41 @@ impl Collector {
     /// every mutation since the cycle began), then sweep.
     fn finish_incremental(&mut self) -> CollectionStats {
         let t0 = Instant::now();
-        let state = self.inc.take().expect("finish follows an in-progress cycle");
-        let IncState { gc_no, reason, blacklist_before, out: mut acc, started, .. } = state;
+        let state = self
+            .inc
+            .take()
+            .expect("finish follows an in-progress cycle");
+        let IncState {
+            gc_no,
+            reason,
+            blacklist_before,
+            out: mut acc,
+            started,
+            mut phases,
+            ..
+        } = state;
         let finalizers_ready;
         {
-            let mut marker =
-                Marker::new(&self.space, &mut self.heap, &mut self.blacklist, &self.config);
+            let mut marker = Marker::new(
+                &self.space,
+                &mut self.heap,
+                &mut self.blacklist,
+                &self.config,
+            );
+            // The finish's root and dirty-page rescan plus final drain all
+            // count as marking: they complete the tracing the increments
+            // started.
+            let t_phase = Instant::now();
             let dirty: Vec<PageIdx> = self.cards.iter().map(|&p| PageIdx::new(p)).collect();
             marker.scan_pages(dirty, false);
             marker.run();
+            phases.mark += t_phase.elapsed();
+            let t_phase = Instant::now();
             let doomed = {
-                let heap = &*marker.heap();
+                let heap = marker.heap();
                 self.finalizers.collect_unreachable(|addr| {
-                    heap.object_containing(addr).is_some_and(|o| heap.is_marked(o))
+                    heap.object_containing(addr)
+                        .is_some_and(|o| heap.is_marked(o))
                 })
             };
             for &addr in &doomed {
@@ -384,16 +481,27 @@ impl Collector {
                     marker.mark_object(obj);
                 }
             }
+            phases.finalize = t_phase.elapsed();
             finalizers_ready = doomed.len() as u32;
             accumulate(&mut acc, marker.out);
         }
+        let t_phase = Instant::now();
         self.clear_dead_links(false);
+        phases.finalize += t_phase.elapsed();
+        let t_phase = Instant::now();
         let sweep = self.heap.sweep();
+        phases.sweep = t_phase.elapsed();
         self.cards.clear();
         self.minors_since_full = 0;
         self.blacklist.end_cycle();
         self.heap.note_collection();
-        self.stats.max_increment_pause = self.stats.max_increment_pause.max(t0.elapsed());
+        let pause = t0.elapsed();
+        self.stats.max_increment_pause = self.stats.max_increment_pause.max(pause);
+        self.stats.pause_times.record_duration(pause);
+        self.emit(|| GcEvent::IncrementalPause {
+            gc_no,
+            duration: pause,
+        });
         let c = CollectionStats {
             gc_no,
             kind: CollectKind::Full,
@@ -409,9 +517,11 @@ impl Collector {
             bytes_marked: acc.bytes_marked,
             finalizers_ready,
             sweep,
+            phases,
             duration: started.elapsed(),
         };
         self.stats.record(c);
+        self.emit_collection_end(&c);
         c
     }
 
@@ -422,28 +532,46 @@ impl Collector {
         let t0 = Instant::now();
         let minor = kind == CollectKind::Minor;
         let gc_no = self.stats.collections + 1;
+        self.emit(|| GcEvent::CollectionBegin {
+            gc_no,
+            kind,
+            reason,
+        });
         let blacklist_before = self.blacklist.len();
         self.blacklist.begin_cycle(gc_no);
         self.heap.clear_marks();
 
+        let mut phases = PhaseTimes::default();
         let (out, finalizers_ready) = {
-            let mut marker =
-                Marker::new(&self.space, &mut self.heap, &mut self.blacklist, &self.config);
+            let mut marker = Marker::new(
+                &self.space,
+                &mut self.heap,
+                &mut self.blacklist,
+                &self.config,
+            );
             if minor {
                 marker = marker.minor();
             }
-            marker.run();
+            // Root-scan phase: conservative scan of every root segment;
+            // found objects stay on the mark stack.
+            let t_phase = Instant::now();
+            marker.run_roots_only();
+            phases.root_scan = t_phase.elapsed();
+            // Mark phase: transitive tracing, plus the generational
+            // remembered set (old objects on dirty pages).
+            let t_phase = Instant::now();
+            marker.drain_all();
             if minor {
-                // Remembered set: rescan old objects on dirty pages.
-                let dirty: Vec<PageIdx> =
-                    self.cards.iter().map(|&p| PageIdx::new(p)).collect();
+                let dirty: Vec<PageIdx> = self.cards.iter().map(|&p| PageIdx::new(p)).collect();
                 marker.scan_dirty_old(dirty);
             }
-            // Finalization: unreachable registered objects are queued and
+            phases.mark = t_phase.elapsed();
+            // Finalize phase: unreachable registered objects are queued and
             // resurrected for one more cycle. A minor collection treats the
             // whole old generation as live.
+            let t_phase = Instant::now();
             let doomed = {
-                let heap = &*marker.heap();
+                let heap = marker.heap();
                 self.finalizers.collect_unreachable(|addr| {
                     heap.object_containing(addr)
                         .is_some_and(|o| heap.is_marked(o) || (minor && heap.is_old(o)))
@@ -454,11 +582,20 @@ impl Collector {
                     marker.mark_object(obj);
                 }
             }
+            phases.finalize = t_phase.elapsed();
             (marker.out, doomed.len() as u32)
         };
 
+        let t_phase = Instant::now();
         self.clear_dead_links(minor);
-        let sweep = if minor { self.heap.sweep_young() } else { self.heap.sweep() };
+        phases.finalize += t_phase.elapsed();
+        let t_phase = Instant::now();
+        let sweep = if minor {
+            self.heap.sweep_young()
+        } else {
+            self.heap.sweep()
+        };
+        phases.sweep = t_phase.elapsed();
         self.cards.clear();
         if minor {
             self.minors_since_full += 1;
@@ -483,10 +620,39 @@ impl Collector {
             bytes_marked: out.bytes_marked,
             finalizers_ready,
             sweep,
+            phases,
             duration: t0.elapsed(),
         };
         self.stats.record(c);
+        self.stats.pause_times.record_duration(c.duration);
+        self.emit_collection_end(&c);
         c
+    }
+
+    /// Emits the events a finished collection produces: blacklist growth,
+    /// finalizer readiness, and the end-of-collection record itself.
+    fn emit_collection_end(&self, c: &CollectionStats) {
+        if c.newly_blacklisted > 0 {
+            self.emit(|| GcEvent::BlacklistGrow {
+                gc_no: c.gc_no,
+                newly_blacklisted: c.newly_blacklisted,
+                total_pages: c.blacklist_pages,
+            });
+        }
+        if c.finalizers_ready > 0 {
+            self.emit(|| GcEvent::FinalizersReady {
+                gc_no: c.gc_no,
+                count: c.finalizers_ready,
+            });
+        }
+        self.emit(|| GcEvent::CollectionEnd {
+            gc_no: c.gc_no,
+            kind: c.kind,
+            phases: c.phases,
+            duration: c.duration,
+            objects_marked: c.objects_marked,
+            bytes_freed: c.sweep.bytes_freed,
+        });
     }
 
     /// Registers `token` to be queued when the object based at `addr`
@@ -575,7 +741,9 @@ impl Collector {
         let space = &mut self.space;
         self.weak_links.retain(|&slot, &mut target| {
             // Stale registration: the slot was overwritten or unmapped.
-            let Ok(current) = space.read_u32(slot) else { return false };
+            let Ok(current) = space.read_u32(slot) else {
+                return false;
+            };
             if current != target.raw() {
                 return false;
             }
@@ -583,7 +751,9 @@ impl Collector {
                 .object_containing(target)
                 .is_some_and(|o| heap.is_marked(o) || (minor && heap.is_old(o)));
             if !alive {
-                space.write_u32(slot, 0).expect("registered slot is writable");
+                space
+                    .write_u32(slot, 0)
+                    .expect("registered slot is writable");
                 return false;
             }
             true
@@ -722,9 +892,7 @@ fn page_usable(blacklist: &Blacklist, config: &GcConfig, page: PageIdx, use_: Pa
         PageUse::SmallBlock(ObjectKind::Atomic) => config.allow_atomic_on_blacklist,
         PageUse::SmallBlock(ObjectKind::Composite) => false,
         PageUse::LargeFirst(_) => false,
-        PageUse::LargeBody(_) => {
-            config.pointer_policy != crate::PointerPolicy::AllInterior
-        }
+        PageUse::LargeBody(_) => config.pointer_policy != crate::PointerPolicy::AllInterior,
     }
 }
 
@@ -739,7 +907,12 @@ mod tests {
     fn setup(config: GcConfig) -> Collector {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         Collector::new(space, config)
     }
@@ -801,7 +974,9 @@ mod tests {
         // The atomic object "points" at the victim, but atomic contents are
         // ignored by the marker.
         gc.space_mut().write_u32(atomic, victim.raw()).unwrap();
-        gc.space_mut().write_u32(root_slot(0), atomic.raw()).unwrap();
+        gc.space_mut()
+            .write_u32(root_slot(0), atomic.raw())
+            .unwrap();
         gc.collect();
         assert!(gc.is_live(atomic));
         assert!(!gc.is_live(victim));
@@ -831,7 +1006,10 @@ mod tests {
         // Pretend this is an integer that just happens to equal the address.
         gc.space_mut().write_u32(root_slot(3), obj.raw()).unwrap();
         gc.collect();
-        assert!(gc.is_live(obj), "the collector cannot tell integers from pointers");
+        assert!(
+            gc.is_live(obj),
+            "the collector cannot tell integers from pointers"
+        );
     }
 
     #[test]
@@ -848,7 +1026,9 @@ mod tests {
             // a pointer into its third page.
             let obj = gc.alloc(3 * PAGE_BYTES, ObjectKind::Composite).unwrap();
             let interior = obj + 2 * PAGE_BYTES + 40;
-            gc.space_mut().write_u32(root_slot(0), interior.raw()).unwrap();
+            gc.space_mut()
+                .write_u32(root_slot(0), interior.raw())
+                .unwrap();
             gc.collect();
             assert_eq!(gc.is_live(obj), expect_live, "policy {policy}");
         }
@@ -860,7 +1040,9 @@ mod tests {
         config.pointer_policy = PointerPolicy::FirstPage;
         let mut gc = setup(config);
         let obj = gc.alloc(3 * PAGE_BYTES, ObjectKind::Composite).unwrap();
-        gc.space_mut().write_u32(root_slot(0), (obj + 100).raw()).unwrap();
+        gc.space_mut()
+            .write_u32(root_slot(0), (obj + 100).raw())
+            .unwrap();
         gc.collect();
         assert!(gc.is_live(obj));
     }
@@ -871,7 +1053,9 @@ mod tests {
         config.pointer_policy = PointerPolicy::BaseOnly;
         let mut gc = setup(config);
         let obj = gc.alloc(16, ObjectKind::Composite).unwrap();
-        gc.space_mut().write_u32(root_slot(0), (obj + 4).raw()).unwrap();
+        gc.space_mut()
+            .write_u32(root_slot(0), (obj + 4).raw())
+            .unwrap();
         gc.collect();
         assert!(!gc.is_live(obj), "interior pointer ignored under BaseOnly");
     }
@@ -959,7 +1143,11 @@ mod tests {
             .unwrap();
         gc.start();
         let a = gc.alloc(6 * PAGE_BYTES, ObjectKind::Composite).unwrap();
-        assert_eq!(a.raw(), heap_base, "body pages may be blacklisted under first-page");
+        assert_eq!(
+            a.raw(),
+            heap_base,
+            "body pages may be blacklisted under first-page"
+        );
     }
 
     #[test]
@@ -993,7 +1181,11 @@ mod tests {
         assert_eq!(gc.unregister_finalizer(obj), Some(1));
         assert_eq!(gc.finalizers_registered(), 0);
         gc.collect();
-        assert_eq!(gc.finalizers_pending(), 0, "unregistered object is not finalized");
+        assert_eq!(
+            gc.finalizers_pending(),
+            0,
+            "unregistered object is not finalized"
+        );
     }
 
     #[test]
@@ -1056,7 +1248,10 @@ mod tests {
         gc.space_mut().write_u16(slot + 4, 0x0000).unwrap();
         gc.space_mut().write_u16(slot + 6, 0x000a).unwrap();
         gc.collect();
-        assert!(gc.is_live(obj), "halfword scan misreads integers as 0x00090000");
+        assert!(
+            gc.is_live(obj),
+            "halfword scan misreads integers as 0x00090000"
+        );
 
         // With word alignment the same bytes are harmless.
         let mut config = small_config();
@@ -1069,7 +1264,10 @@ mod tests {
         gc.space_mut().write_u16(slot + 4, 0x0000).unwrap();
         gc.space_mut().write_u16(slot + 6, 0x000a).unwrap();
         gc.collect();
-        assert!(!gc.is_live(obj), "word-aligned scan sees 0x00000009 and 0x0000000a");
+        assert!(
+            !gc.is_live(obj),
+            "word-aligned scan sees 0x00000009 and 0x0000000a"
+        );
     }
 
     #[test]
@@ -1129,7 +1327,12 @@ mod generational_tests {
     fn gen_collector() -> Collector {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         Collector::new(
             space,
@@ -1189,7 +1392,7 @@ mod generational_tests {
         let old = gc.alloc(8, ObjectKind::Composite).unwrap();
         gc.space_mut().write_u32(root_slot(0), old.raw()).unwrap();
         gc.collect_minor(); // tenure `old`
-        // Drop the static root; `old` survives minors as old-generation.
+                            // Drop the static root; `old` survives minors as old-generation.
         gc.space_mut().write_u32(root_slot(0), old.raw()).unwrap();
         // Create a young object referenced ONLY from the old one.
         let young = gc.alloc(8, ObjectKind::Composite).unwrap();
@@ -1197,7 +1400,10 @@ mod generational_tests {
         gc.record_write(old); // the write barrier
         assert!(gc.dirty_cards() > 0);
         gc.collect_minor();
-        assert!(gc.is_live(young), "dirty-card scan found the old→young pointer");
+        assert!(
+            gc.is_live(young),
+            "dirty-card scan found the old→young pointer"
+        );
         assert_eq!(gc.dirty_cards(), 0, "cards are cleared by the collection");
     }
 
@@ -1213,14 +1419,22 @@ mod generational_tests {
         gc.space_mut().write_u32(old, young.raw()).unwrap();
         // No record_write: the card stays clean.
         gc.collect_minor();
-        assert!(!gc.is_live(young), "unrecorded store is the documented hazard");
+        assert!(
+            !gc.is_live(young),
+            "unrecorded store is the documented hazard"
+        );
     }
 
     #[test]
     fn automatic_policy_interleaves_minor_and_full() {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         let mut gc = Collector::new(
             space,
@@ -1242,7 +1456,11 @@ mod generational_tests {
             gc.alloc(16, ObjectKind::Composite).unwrap();
         }
         let s = gc.stats();
-        assert!(s.minor_collections > 0, "minors ran: {}", s.minor_collections);
+        assert!(
+            s.minor_collections > 0,
+            "minors ran: {}",
+            s.minor_collections
+        );
         assert!(
             s.collections > s.minor_collections,
             "full collections interleave: {} total vs {} minor",
@@ -1272,12 +1490,21 @@ mod generational_tests {
     fn non_generational_collector_ignores_cards() {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         let mut gc = Collector::new(space, GcConfig::default());
         let obj = gc.alloc(8, ObjectKind::Composite).unwrap();
         gc.record_write(obj);
-        assert_eq!(gc.dirty_cards(), 0, "barrier is a no-op without generational mode");
+        assert_eq!(
+            gc.dirty_cards(),
+            0,
+            "barrier is a no-op without generational mode"
+        );
     }
 }
 
@@ -1290,7 +1517,12 @@ mod typed_tests {
     fn collector() -> Collector {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         Collector::new(
             space,
@@ -1356,12 +1588,18 @@ mod typed_tests {
         // conservatively scanned again, not filtered by a stale descriptor.
         let again = gc.alloc(8, ObjectKind::Composite).unwrap();
         assert_eq!(again, rec, "address-ordered free list reuses the slot");
-        assert!(gc.heap().descriptor_of(again).is_none(), "no stale descriptor");
+        assert!(
+            gc.heap().descriptor_of(again).is_none(),
+            "no stale descriptor"
+        );
         let victim = gc.alloc(8, ObjectKind::Composite).unwrap();
         gc.space_mut().write_u32(again, victim.raw()).unwrap();
         gc.space_mut().write_u32(ROOT, again.raw()).unwrap();
         gc.collect();
-        assert!(gc.is_live(victim), "composite reuse is scanned conservatively");
+        assert!(
+            gc.is_live(victim),
+            "composite reuse is scanned conservatively"
+        );
     }
 
     #[test]
@@ -1390,7 +1628,12 @@ mod incremental_tests {
     fn inc_collector(budget: u32) -> Collector {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         Collector::new(
             space,
@@ -1465,7 +1708,10 @@ mod incremental_tests {
         gc.space_mut().write_u32(target + 4, hidden.raw()).unwrap();
         gc.record_write(target + 4);
         run_cycle(&mut gc);
-        assert!(gc.is_live(hidden), "dirty-page rescan found the hidden pointer");
+        assert!(
+            gc.is_live(hidden),
+            "dirty-page rescan found the hidden pointer"
+        );
     }
 
     #[test]
@@ -1477,14 +1723,22 @@ mod incremental_tests {
         let fresh = gc.alloc(8, ObjectKind::Composite).unwrap();
         gc.space_mut().write_u32(ROOT, fresh.raw()).unwrap();
         run_cycle(&mut gc);
-        assert!(gc.is_live(fresh), "mid-cycle allocation survives its own cycle");
+        assert!(
+            gc.is_live(fresh),
+            "mid-cycle allocation survives its own cycle"
+        );
     }
 
     #[test]
     fn automatic_incremental_cycles_reclaim_garbage() {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         let mut gc = Collector::new(
             space,
@@ -1544,7 +1798,11 @@ mod incremental_tests {
         let space = AddressSpace::new(Endian::Big);
         let _ = Collector::new(
             space,
-            GcConfig { generational: true, incremental: true, ..GcConfig::default() },
+            GcConfig {
+                generational: true,
+                incremental: true,
+                ..GcConfig::default()
+            },
         );
     }
 }
@@ -1558,7 +1816,12 @@ mod weak_link_tests {
     fn collector() -> Collector {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         Collector::new(
             space,
@@ -1587,7 +1850,11 @@ mod weak_link_tests {
         gc.space_mut().write_u32(holder, target.raw()).unwrap();
         gc.register_disappearing_link(holder, target).unwrap();
         gc.collect();
-        assert_eq!(gc.space().read_u32(holder).unwrap(), target.raw(), "target alive");
+        assert_eq!(
+            gc.space().read_u32(holder).unwrap(),
+            target.raw(),
+            "target alive"
+        );
         assert_eq!(gc.disappearing_links(), 1);
         // Drop the strong ref: the weak slot clears exactly once.
         gc.space_mut().write_u32(ROOT + 4, 0).unwrap();
@@ -1608,7 +1875,11 @@ mod weak_link_tests {
         // The program reuses the slot for something else.
         gc.space_mut().write_u32(holder, 0xABCD).unwrap();
         gc.collect();
-        assert_eq!(gc.space().read_u32(holder).unwrap(), 0xABCD, "slot untouched");
+        assert_eq!(
+            gc.space().read_u32(holder).unwrap(),
+            0xABCD,
+            "slot untouched"
+        );
         assert_eq!(gc.disappearing_links(), 0, "stale registration dropped");
     }
 
@@ -1620,8 +1891,13 @@ mod weak_link_tests {
             gc.register_disappearing_link(Addr::new(0x1_0020), obj + 4),
             Err(GcError::NotAnObject { addr: obj + 4 })
         );
-        assert!(gc.register_disappearing_link(Addr::new(0x1_0020), obj).is_ok());
-        assert_eq!(gc.unregister_disappearing_link(Addr::new(0x1_0020)), Some(obj));
+        assert!(gc
+            .register_disappearing_link(Addr::new(0x1_0020), obj)
+            .is_ok());
+        assert_eq!(
+            gc.unregister_disappearing_link(Addr::new(0x1_0020)),
+            Some(obj)
+        );
         assert_eq!(gc.unregister_disappearing_link(Addr::new(0x1_0020)), None);
     }
 
@@ -1629,7 +1905,12 @@ mod weak_link_tests {
     fn minor_collections_respect_old_targets() {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         let mut gc = Collector::new(
             space,
@@ -1667,7 +1948,12 @@ mod weak_link_tests {
     fn links_fire_in_incremental_cycles() {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         let mut gc = Collector::new(
             space,
@@ -1690,6 +1976,10 @@ mod weak_link_tests {
         gc.space_mut().write_u32(holder, target.raw()).unwrap();
         gc.register_disappearing_link(holder, target).unwrap();
         while gc.collect_increment(CollectReason::Explicit).is_none() {}
-        assert_eq!(gc.space().read_u32(holder).unwrap(), 0, "cleared at the finish");
+        assert_eq!(
+            gc.space().read_u32(holder).unwrap(),
+            0,
+            "cleared at the finish"
+        );
     }
 }

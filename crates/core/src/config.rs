@@ -1,5 +1,6 @@
 //! Collector configuration.
 
+use crate::telemetry::SharedObserver;
 use gc_heap::HeapConfig;
 use std::fmt;
 
@@ -81,9 +82,10 @@ impl fmt::Display for ScanAlignment {
 /// per entry. If a false reference is seen to any of the pages with a given
 /// hash address, all of them are effectively blacklisted. Since collisions
 /// can easily be made rare, this does not result in much lost precision."
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
 pub enum BlacklistKind {
     /// Exact per-page entries with provenance and aging metadata.
+    #[default]
     Exact,
     /// One-bit-per-entry hash table with `1 << bits` entries; collisions
     /// over-blacklist, never under-blacklist.
@@ -91,12 +93,6 @@ pub enum BlacklistKind {
         /// log₂ of the table size in bits.
         bits: u8,
     },
-}
-
-impl Default for BlacklistKind {
-    fn default() -> Self {
-        BlacklistKind::Exact
-    }
 }
 
 /// Full collector configuration.
@@ -164,6 +160,12 @@ pub struct GcConfig {
     pub incremental: bool,
     /// Objects traced per increment in incremental mode.
     pub incremental_budget: u32,
+    /// Telemetry sink receiving the collector's [`GcEvent`](crate::GcEvent)
+    /// stream (collections, allocation slow paths, heap and blacklist
+    /// growth, incremental pauses). `None` disables event delivery; wrap a
+    /// sink with [`observer`](crate::observer) and keep a clone of the
+    /// handle to inspect it afterwards.
+    pub observer: Option<SharedObserver>,
 }
 
 impl Default for GcConfig {
@@ -185,6 +187,7 @@ impl Default for GcConfig {
             full_gc_every: 8,
             incremental: false,
             incremental_budget: 512,
+            observer: None,
         }
     }
 }

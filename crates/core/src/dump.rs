@@ -51,7 +51,10 @@ pub(crate) fn dump(gc: &Collector) -> String {
     }
     let _ = writeln!(out, "--- blocks by object size ---");
     for ((bytes, kind), (blocks, live)) in by_shape {
-        let _ = writeln!(out, "{bytes:>8} B {kind:<9}: {blocks:>4} block(s), {live:>7} live");
+        let _ = writeln!(
+            out,
+            "{bytes:>8} B {kind:<9}: {blocks:>4} block(s), {live:>7} live"
+        );
     }
 
     // Blacklist.
@@ -62,8 +65,12 @@ pub(crate) fn dump(gc: &Collector) -> String {
         bl.len(),
         bl.total_noted()
     );
+    // Truncate the listing to a screenful of blacklisted pages.
+    const BLACKLIST_PAGES_PER_LINE: usize = 6;
+    const BLACKLIST_LINES: usize = 12;
+    const BLACKLIST_PAGES_SHOWN: usize = BLACKLIST_PAGES_PER_LINE * BLACKLIST_LINES;
     let pages = bl.pages();
-    for chunk in pages.chunks(6).take(12) {
+    for chunk in pages.chunks(BLACKLIST_PAGES_PER_LINE).take(BLACKLIST_LINES) {
         let line: Vec<String> = chunk
             .iter()
             .map(|p| {
@@ -76,8 +83,8 @@ pub(crate) fn dump(gc: &Collector) -> String {
             .collect();
         let _ = writeln!(out, "  {}", line.join("  "));
     }
-    if pages.len() > 72 {
-        let _ = writeln!(out, "  … {} more", pages.len() - 72);
+    if pages.len() > BLACKLIST_PAGES_SHOWN {
+        let _ = writeln!(out, "  … {} more", pages.len() - BLACKLIST_PAGES_SHOWN);
     }
 
     // Roots.
@@ -113,21 +120,33 @@ mod tests {
     fn dump_covers_all_sections() {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .unwrap();
         // Junk that will be blacklisted at startup.
         space.write_u32(Addr::new(0x1_0000), 0x10_2030).unwrap();
         let mut gc = Collector::new(
             space,
             GcConfig {
-                heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+                heap: HeapConfig {
+                    heap_base: Addr::new(0x10_0000),
+                    ..HeapConfig::default()
+                },
                 ..GcConfig::default()
             },
         );
         let a = gc.alloc(8, ObjectKind::Composite).unwrap();
         let b = gc.alloc(64, ObjectKind::Atomic).unwrap();
-        gc.space_mut().write_u32(Addr::new(0x1_0004), a.raw()).unwrap();
-        gc.space_mut().write_u32(Addr::new(0x1_0008), b.raw()).unwrap();
+        gc.space_mut()
+            .write_u32(Addr::new(0x1_0004), a.raw())
+            .unwrap();
+        gc.space_mut()
+            .write_u32(Addr::new(0x1_0008), b.raw())
+            .unwrap();
         gc.collect();
         let text = gc.dump();
         for needle in [

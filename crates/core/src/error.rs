@@ -65,7 +65,9 @@ mod tests {
         let e = GcError::from(HeapError::ZeroSized);
         assert!(e.to_string().contains("zero-sized"));
         assert!(e.source().is_some());
-        let e = GcError::NotAnObject { addr: Addr::new(16) };
+        let e = GcError::NotAnObject {
+            addr: Addr::new(16),
+        };
         assert!(e.to_string().contains("0x00000010"));
     }
 }

@@ -41,11 +41,18 @@ impl Finalizers {
     /// are moved to the ready queue and returned (for resurrection by the
     /// caller).
     pub fn collect_unreachable(&mut self, mut is_marked: impl FnMut(Addr) -> bool) -> Vec<Addr> {
-        let doomed: Vec<Addr> =
-            self.registered.keys().copied().filter(|&a| !is_marked(a)).collect();
+        let doomed: Vec<Addr> = self
+            .registered
+            .keys()
+            .copied()
+            .filter(|&a| !is_marked(a))
+            .collect();
         let mut newly = Vec::with_capacity(doomed.len());
         for addr in doomed {
-            let token = self.registered.remove(&addr).expect("doomed key is registered");
+            let token = self
+                .registered
+                .remove(&addr)
+                .expect("doomed key is registered");
             self.ready.push((addr, token));
             newly.push(addr);
         }

@@ -52,6 +52,7 @@ mod error;
 mod finalize;
 mod mark;
 mod stats;
+mod telemetry;
 mod trace;
 
 pub(crate) use finalize::Finalizers;
@@ -61,4 +62,8 @@ pub use collector::Collector;
 pub use config::{BlacklistKind, GcConfig, PointerPolicy, ScanAlignment};
 pub use error::GcError;
 pub use stats::{CollectKind, CollectReason, CollectionStats, GcStats};
+pub use telemetry::{
+    json_escape, observer, GcEvent, GcObserver, Histogram, JsonLinesSink, NullSink, PhaseTimes,
+    RingBufferSink, SharedObserver, METRICS_SCHEMA_VERSION,
+};
 pub use trace::Retainer;

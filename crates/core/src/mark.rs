@@ -111,7 +111,9 @@ impl<'a> Marker<'a> {
                 {
                     continue;
                 }
-                let bytes = space.bytes_at(obj.base, obj.bytes).expect("live object mapped");
+                let bytes = space
+                    .bytes_at(obj.base, obj.bytes)
+                    .expect("live object mapped");
                 let stride = self.config.scan_alignment.stride() as usize;
                 for off in (0..=bytes.len() - 4).step_by(stride) {
                     let value = self.endian.read_u32(&bytes[off..off + 4]);
@@ -133,12 +135,19 @@ impl<'a> Marker<'a> {
     }
 
     /// Scans every root segment without draining: the found objects stay
-    /// on the mark stack for budgeted tracing (incremental mode).
+    /// on the mark stack for budgeted tracing (incremental mode), or for a
+    /// separately timed [`drain_all`](Marker::drain_all) (phase telemetry).
     pub(crate) fn run_roots_only(&mut self) {
         let space = self.space;
         for seg in space.roots() {
             self.scan_root_segment(seg);
         }
+    }
+
+    /// Drains the mark stack to empty, tracing everything reachable from
+    /// the objects currently on it.
+    pub(crate) fn drain_all(&mut self) {
+        self.drain();
     }
 
     /// Seeds the mark stack (resuming an incremental cycle).
@@ -158,9 +167,13 @@ impl<'a> Marker<'a> {
         let stride = self.config.scan_alignment.stride() as usize;
         let mut traced = 0;
         while traced < budget {
-            let Some(obj) = self.stack.pop() else { return true };
+            let Some(obj) = self.stack.pop() else {
+                return true;
+            };
             traced += 1;
-            let bytes = space.bytes_at(obj.base, obj.bytes).expect("live object mapped");
+            let bytes = space
+                .bytes_at(obj.base, obj.bytes)
+                .expect("live object mapped");
             if bytes.len() < 4 {
                 continue;
             }

@@ -1,5 +1,6 @@
 //! Collector statistics.
 
+use crate::telemetry::{Histogram, PhaseTimes};
 use gc_heap::SweepStats;
 use std::fmt;
 use std::time::Duration;
@@ -81,6 +82,10 @@ pub struct CollectionStats {
     pub finalizers_ready: u32,
     /// Sweep results.
     pub sweep: SweepStats,
+    /// Per-phase wall-clock breakdown (root scan, mark, finalize, sweep).
+    /// The phase sum is bounded by [`duration`](CollectionStats::duration);
+    /// the remainder is inter-phase bookkeeping.
+    pub phases: PhaseTimes,
     /// Wall-clock duration of the whole cycle.
     pub duration: Duration,
 }
@@ -128,6 +133,13 @@ pub struct GcStats {
     /// Longest single mutator pause an incremental cycle caused (root
     /// scan, one tracing increment, or the stop-the-world finish).
     pub max_increment_pause: Duration,
+    /// Distribution of mutator pauses, in nanoseconds. Stop-the-world
+    /// collections contribute their whole duration; incremental cycles
+    /// contribute each bounded increment instead of the cycle total.
+    pub pause_times: Histogram,
+    /// Distribution of allocation slow-path latencies (allocations that
+    /// triggered collection work before returning), in nanoseconds.
+    pub alloc_slow_path: Histogram,
 }
 
 impl GcStats {
@@ -164,6 +176,7 @@ mod tests {
             bytes_marked: 56,
             finalizers_ready: 0,
             sweep: SweepStats::default(),
+            phases: PhaseTimes::default(),
             duration: Duration::from_micros(10),
         }
     }

@@ -73,7 +73,9 @@ pub(crate) fn find_retainers(
         if obj.kind != ObjectKind::Composite || obj.bytes < 4 {
             continue;
         }
-        let bytes = space.bytes_at(obj.base, obj.bytes).expect("live object is mapped");
+        let bytes = space
+            .bytes_at(obj.base, obj.bytes)
+            .expect("live object is mapped");
         for off in (0..=bytes.len() - 4).step_by(stride as usize) {
             let value = endian.read_u32(&bytes[off..off + 4]);
             if let Some(dest) = resolve(Addr::new(value)) {
@@ -94,8 +96,8 @@ pub(crate) fn find_retainers(
         let target = reaches[&obj];
         if let Some(ps) = preds.get(&obj) {
             for &p in ps {
-                if !reaches.contains_key(&p) {
-                    reaches.insert(p, target);
+                if let std::collections::hash_map::Entry::Vacant(e) = reaches.entry(p) {
+                    e.insert(target);
                     queue.push_back(p);
                 }
             }

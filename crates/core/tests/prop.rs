@@ -62,7 +62,11 @@ fn arb_graph() -> impl Strategy<Value = GraphSpec> {
             proptest::collection::vec((0..n, 0..n, 0u8..2), 0..n * 2),
             proptest::collection::vec(0..n, 0..5),
         )
-            .prop_map(move |(edges, roots)| GraphSpec { nobjects: n, edges, roots })
+            .prop_map(move |(edges, roots)| GraphSpec {
+                nobjects: n,
+                edges,
+                roots,
+            })
     })
 }
 
@@ -91,10 +95,13 @@ fn reachable(spec: &GraphSpec) -> HashSet<usize> {
 }
 
 fn build(gc: &mut Collector, spec: &GraphSpec) -> Vec<Addr> {
-    let objs: Vec<Addr> =
-        (0..spec.nobjects).map(|_| gc.alloc(8, ObjectKind::Composite).unwrap()).collect();
+    let objs: Vec<Addr> = (0..spec.nobjects)
+        .map(|_| gc.alloc(8, ObjectKind::Composite).unwrap())
+        .collect();
     for &(f, t, field) in &spec.edges {
-        gc.space_mut().write_u32(objs[f] + u32::from(field) * 4, objs[t].raw()).unwrap();
+        gc.space_mut()
+            .write_u32(objs[f] + u32::from(field) * 4, objs[t].raw())
+            .unwrap();
     }
     for (i, &r) in spec.roots.iter().enumerate() {
         gc.space_mut()

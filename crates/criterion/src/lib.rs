@@ -1,0 +1,260 @@
+//! Vendored stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the small benchmarking surface the workspace's benches use:
+//! [`criterion_group!`]/[`criterion_main!`], benchmark groups,
+//! `bench_function`/`bench_with_input`, and `Bencher::iter`/
+//! `iter_batched_ref`. Measurement is deliberately simple — a fixed number
+//! of timed samples with median/min/max reporting — with none of real
+//! criterion's statistics, plots, or saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost relates to the routine (accepted for API
+/// compatibility; the shim always re-runs setup outside the timed region).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small input: many iterations per batch.
+    SmallInput,
+    /// Large input: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Throughput {
+    /// Routine processes this many elements per iteration.
+    Elements(u64),
+    /// Routine processes this many bytes per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier (`group/function` or parameterized).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("## {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) {
+        let group_name = name.to_string();
+        let mut group = BenchmarkGroup {
+            _criterion: self,
+            name: group_name,
+            sample_size: 10,
+            throughput: None,
+        };
+        group.run(name, f);
+    }
+}
+
+/// A named group of benchmarks sharing sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        self.run(&id.to_string(), f);
+        self
+    }
+
+    /// Benchmarks `f` with a fixed input under `id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        self.run(&id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (printing is live, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn run(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 0,
+            };
+            f(&mut b);
+            if b.iters > 0 {
+                samples.push(b.elapsed / b.iters.max(1) as u32);
+            }
+        }
+        samples.sort_unstable();
+        if samples.is_empty() {
+            println!("  {}/{id}: no samples", self.name);
+            return;
+        }
+        let median = samples[samples.len() / 2];
+        let rate = self.throughput.map(|t| {
+            let per_sec = |n: u64| n as f64 / median.as_secs_f64().max(1e-12);
+            match t {
+                Throughput::Elements(n) => format!(" ({:.0} elem/s)", per_sec(n)),
+                Throughput::Bytes(n) => format!(" ({:.0} B/s)", per_sec(n)),
+            }
+        });
+        println!(
+            "  {}/{id}: median {median:?} (min {:?}, max {:?}, {} samples){}",
+            self.name,
+            samples[0],
+            samples[samples.len() - 1],
+            samples.len(),
+            rate.unwrap_or_default(),
+        );
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` over a fixed iteration count.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        const ITERS: u64 = 3;
+        let start = Instant::now();
+        for _ in 0..ITERS {
+            std::hint::black_box(routine());
+        }
+        self.elapsed += start.elapsed();
+        self.iters += ITERS;
+    }
+
+    /// Times `routine` against a fresh `setup()` value each iteration
+    /// (setup excluded from measurement).
+    pub fn iter_batched_ref<S, O>(
+        &mut self,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(&mut S) -> O,
+        _size: BatchSize,
+    ) {
+        let mut input = setup();
+        let start = Instant::now();
+        std::hint::black_box(routine(&mut input));
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Declares a function that runs the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3).throughput(Throughput::Elements(1));
+        let mut runs = 0;
+        group.bench_function("iter", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(42), &42u32, |b, &n| {
+            b.iter_batched_ref(|| n, |v| *v + 1, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(runs, 3, "sample_size drives the sample count");
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("mark", 8).to_string(), "mark/8");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

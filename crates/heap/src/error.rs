@@ -76,11 +76,17 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = HeapError::OutOfMemory { requested: 64, pages_denied: 3 };
+        let e = HeapError::OutOfMemory {
+            requested: 64,
+            pages_denied: 3,
+        };
         assert!(e.to_string().contains("64 bytes"));
         assert!(e.to_string().contains("3 candidate pages"));
         let e = HeapError::from(VmError::Unmapped { addr: Addr::new(4) });
         assert!(e.source().is_some());
-        assert_eq!(HeapError::ZeroSized.to_string(), "zero-sized allocation requested");
+        assert_eq!(
+            HeapError::ZeroSized.to_string(),
+            "zero-sized allocation requested"
+        );
     }
 }

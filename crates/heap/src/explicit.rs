@@ -36,13 +36,18 @@ pub struct ExplicitHeap {
 impl ExplicitHeap {
     /// Creates an explicit heap with the given configuration.
     pub fn new(config: HeapConfig) -> Self {
-        ExplicitHeap { inner: Heap::new(config) }
+        ExplicitHeap {
+            inner: Heap::new(config),
+        }
     }
 
     /// Creates an explicit heap with the given free-list policy and
     /// otherwise default configuration.
     pub fn with_policy(policy: FreeListPolicy) -> Self {
-        ExplicitHeap::new(HeapConfig { freelist_policy: policy, ..HeapConfig::default() })
+        ExplicitHeap::new(HeapConfig {
+            freelist_policy: policy,
+            ..HeapConfig::default()
+        })
     }
 
     /// Allocates `bytes` bytes. Memory is zeroed.
@@ -52,7 +57,8 @@ impl ExplicitHeap {
     /// Fails with [`HeapError::OutOfMemory`] at the configured heap limit
     /// and [`HeapError::ZeroSized`] for empty requests.
     pub fn malloc(&mut self, space: &mut AddressSpace, bytes: u32) -> Result<Addr, HeapError> {
-        self.inner.alloc(space, bytes, ObjectKind::Composite, &mut accept_all)
+        self.inner
+            .alloc(space, bytes, ObjectKind::Composite, &mut accept_all)
     }
 
     /// Frees the object based at `addr`.
@@ -99,13 +105,18 @@ mod tests {
     use gc_vmspace::Endian;
 
     fn setup() -> (AddressSpace, ExplicitHeap) {
-        (AddressSpace::new(Endian::Big), ExplicitHeap::new(HeapConfig::default()))
+        (
+            AddressSpace::new(Endian::Big),
+            ExplicitHeap::new(HeapConfig::default()),
+        )
     }
 
     #[test]
     fn malloc_free_cycle() {
         let (mut space, mut heap) = setup();
-        let ptrs: Vec<Addr> = (0..100).map(|_| heap.malloc(&mut space, 48).unwrap()).collect();
+        let ptrs: Vec<Addr> = (0..100)
+            .map(|_| heap.malloc(&mut space, 48).unwrap())
+            .collect();
         assert_eq!(heap.stats().bytes_live, 100 * 48);
         for p in &ptrs {
             heap.free(*p).unwrap();
@@ -128,9 +139,16 @@ mod tests {
         let (mut space, mut heap) = setup();
         assert_eq!(heap.fragmentation(), 0.0);
         let p = heap.malloc(&mut space, 100).unwrap();
-        assert!(heap.fragmentation() > 0.0, "growth increment maps spare pages");
+        assert!(
+            heap.fragmentation() > 0.0,
+            "growth increment maps spare pages"
+        );
         heap.free(p).unwrap();
-        assert_eq!(heap.fragmentation(), 1.0, "everything free after the only free");
+        assert_eq!(
+            heap.fragmentation(),
+            1.0,
+            "everything free after the only free"
+        );
     }
 
     #[test]
@@ -140,6 +158,9 @@ mod tests {
         let q = heap.malloc(&mut space, 8).unwrap();
         heap.free(p).unwrap();
         assert!(matches!(heap.free(p), Err(HeapError::DoubleFree { .. })));
-        assert!(matches!(heap.free(q + 2), Err(HeapError::NotAnObject { .. })));
+        assert!(matches!(
+            heap.free(q + 2),
+            Err(HeapError::NotAnObject { .. })
+        ));
     }
 }

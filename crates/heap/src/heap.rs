@@ -1,8 +1,8 @@
 //! The page-level heap: block acquisition, object allocation, sweeping.
 
 use crate::{
-    Block, BlockId, BlockShape, FreeList, FreeListPolicy, HeapError, ObjRef, ObjectKind,
-    SizeClass, GRANULE_BYTES,
+    Block, BlockId, BlockShape, FreeList, FreeListPolicy, HeapError, ObjRef, ObjectKind, SizeClass,
+    GRANULE_BYTES,
 };
 use gc_vmspace::{Addr, AddressSpace, PageIdx, SegmentKind, SegmentSpec, PAGE_BYTES};
 use std::collections::{BTreeMap, HashMap};
@@ -17,7 +17,9 @@ impl PageMap {
     const NONE: u32 = u32::MAX;
 
     fn new() -> Self {
-        PageMap { slots: vec![Self::NONE; 1 << 20] }
+        PageMap {
+            slots: vec![Self::NONE; 1 << 20],
+        }
     }
 
     #[inline]
@@ -354,11 +356,15 @@ impl Heap {
         let page = if let Some(i) = reclaimed {
             PageIdx::new(self.quarantined.swap_remove(i))
         } else {
-            self.take_one_page(space, &mut |p| pred(p, PageUse::SmallBlock(kind)), &mut denied)?
-                .ok_or(HeapError::OutOfMemory {
-                    requested: class.bytes(),
-                    pages_denied: denied,
-                })?
+            self.take_one_page(
+                space,
+                &mut |p| pred(p, PageUse::SmallBlock(kind)),
+                &mut denied,
+            )?
+            .ok_or(HeapError::OutOfMemory {
+                requested: class.bytes(),
+                pages_denied: denied,
+            })?
         };
         let id = BlockId(self.blocks.len() as u32);
         let block = Block::new_small(id, page.base(), class, kind);
@@ -382,12 +388,19 @@ impl Heap {
         let npages = obj_bytes.div_ceil(PAGE_BYTES);
         let mut denied = 0u32;
         let mut check = |p: PageIdx, first: bool| {
-            let use_ = if first { PageUse::LargeFirst(kind) } else { PageUse::LargeBody(kind) };
+            let use_ = if first {
+                PageUse::LargeFirst(kind)
+            } else {
+                PageUse::LargeBody(kind)
+            };
             pred(p, use_)
         };
         let first_page = self
             .take_pages(space, npages, &mut check, &mut denied)?
-            .ok_or(HeapError::OutOfMemory { requested: bytes, pages_denied: denied })?;
+            .ok_or(HeapError::OutOfMemory {
+                requested: bytes,
+                pages_denied: denied,
+            })?;
         let id = BlockId(self.blocks.len() as u32);
         let block = Block::new_large(id, first_page.base(), obj_bytes, kind);
         for i in 0..block.npages() {
@@ -404,7 +417,9 @@ impl Heap {
         addr: Addr,
         obj_bytes: u32,
     ) -> Result<Addr, HeapError> {
-        let (block, slot) = self.slot_of(addr).expect("fresh allocation resolves to a slot");
+        let (block, slot) = self
+            .slot_of(addr)
+            .expect("fresh allocation resolves to a slot");
         let id = block.id();
         let b = self.block_mut(id);
         b.allocated.set(slot);
@@ -509,7 +524,8 @@ impl Heap {
         }
         let tail_start = first.raw() + npages;
         if tail_start < run_start + run_len {
-            self.free_runs.insert(tail_start, run_start + run_len - tail_start);
+            self.free_runs
+                .insert(tail_start, run_start + run_len - tail_start);
         }
     }
 
@@ -538,7 +554,9 @@ impl Heap {
         if self.mapped_pages >= limit_pages {
             return Ok(false);
         }
-        let want = min_pages.max(self.config.growth_pages).min(limit_pages - self.mapped_pages);
+        let want = min_pages
+            .max(self.config.growth_pages)
+            .min(limit_pages - self.mapped_pages);
         if want < min_pages {
             return Ok(false);
         }
@@ -566,7 +584,12 @@ impl Heap {
                     }
                 }
             }
-            match space.map(SegmentSpec::new("heap", SegmentKind::Heap, base, len as u32)) {
+            match space.map(SegmentSpec::new(
+                "heap",
+                SegmentKind::Heap,
+                base,
+                len as u32,
+            )) {
                 Ok(seg) => {
                     self.last_segment = Some((seg, base + len as u32));
                     break;
@@ -638,7 +661,8 @@ impl Heap {
 
     /// Returns the mark bit of an object.
     pub fn is_marked(&self, obj: ObjRef) -> bool {
-        self.block(obj.block).is_some_and(|b| b.is_marked(obj.index))
+        self.block(obj.block)
+            .is_some_and(|b| b.is_marked(obj.index))
     }
 
     /// Sets the mark bit of an object. Returns `true` if it was newly set.
@@ -728,8 +752,12 @@ impl Heap {
     /// for generational mode: a dirty page's old composite objects must be
     /// rescanned at a minor collection).
     pub fn objects_on_page(&self, page: PageIdx) -> Vec<ObjRef> {
-        let Some(id) = self.page_map.get(page) else { return Vec::new() };
-        let Some(block) = self.block(id) else { return Vec::new() };
+        let Some(id) = self.page_map.get(page) else {
+            return Vec::new();
+        };
+        let Some(block) = self.block(id) else {
+            return Vec::new();
+        };
         block
             .allocated
             .iter_ones()
@@ -765,9 +793,12 @@ impl Heap {
     }
 
     fn release_block(&mut self, id: BlockId) {
-        let block = self.blocks[id.0 as usize].take().expect("released block is live");
+        let block = self.blocks[id.0 as usize]
+            .take()
+            .expect("released block is live");
         for i in 0..block.npages() {
-            self.page_map.clear(PageIdx::new(block.base().page().raw() + i));
+            self.page_map
+                .clear(PageIdx::new(block.base().page().raw() + i));
         }
         // Purge any free-list entries pointing into the released range
         // (explicit-free path; the sweep path rebuilt lists already).
@@ -866,6 +897,55 @@ impl Heap {
     pub fn objects_allocated_total(&self) -> u64 {
         self.objects_allocated_total
     }
+
+    /// Aggregates live blocks into a per-size-class census, ordered by
+    /// object size then kind (composite before atomic, small before large).
+    /// Large-object blocks of the same object size share one row.
+    pub fn size_class_census(&self) -> Vec<SizeClassCensus> {
+        let mut rows: std::collections::BTreeMap<(u32, bool, bool), SizeClassCensus> =
+            std::collections::BTreeMap::new();
+        for b in self.blocks() {
+            let large = matches!(b.shape(), BlockShape::Large { .. });
+            let atomic = b.kind() == ObjectKind::Atomic;
+            let row = rows
+                .entry((b.obj_bytes(), large, atomic))
+                .or_insert(SizeClassCensus {
+                    obj_bytes: b.obj_bytes(),
+                    kind: b.kind(),
+                    large,
+                    blocks: 0,
+                    pages: 0,
+                    live_objects: 0,
+                    free_slots: 0,
+                });
+            row.blocks += 1;
+            row.pages += b.npages();
+            row.live_objects += b.live_objects();
+            row.free_slots += b.slots().saturating_sub(b.live_objects());
+        }
+        rows.into_values().collect()
+    }
+}
+
+/// One row of [`Heap::size_class_census`]: the live blocks of one object
+/// size and kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SizeClassCensus {
+    /// Object size in bytes (the size class for small blocks, the exact
+    /// rounded size for large ones).
+    pub obj_bytes: u32,
+    /// Composite or atomic.
+    pub kind: ObjectKind,
+    /// Whether these are large-object blocks (one object per block).
+    pub large: bool,
+    /// Live blocks of this class.
+    pub blocks: u32,
+    /// Pages those blocks span.
+    pub pages: u32,
+    /// Allocated objects.
+    pub live_objects: u32,
+    /// Unallocated slots available without mapping new pages.
+    pub free_slots: u32,
 }
 
 /// Accepts every page; the placement predicate used when blacklisting is
@@ -893,11 +973,17 @@ mod tests {
     #[test]
     fn small_alloc_and_object_map() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
-        let b = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let b = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         assert_ne!(a, b);
         assert_eq!(a.page(), b.page(), "same size class shares a block");
-        let obj = heap.object_containing(a + 4).expect("interior address resolves");
+        let obj = heap
+            .object_containing(a + 4)
+            .expect("interior address resolves");
         assert_eq!(obj.base, a);
         assert_eq!(obj.bytes, 8);
         assert!(heap.is_object_base(a));
@@ -908,10 +994,14 @@ mod tests {
     #[test]
     fn alloc_zeroes_memory() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         space.write_u32(a, 0xdeadbeef).unwrap();
         heap.free_object(a).unwrap();
-        let b = heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         assert_eq!(b, a, "address-ordered free list reuses the slot");
         assert_eq!(space.read_u32(b).unwrap(), 0, "allocation zeroes");
     }
@@ -919,25 +1009,43 @@ mod tests {
     #[test]
     fn kinds_use_separate_blocks() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
-        let b = heap.alloc(&mut space, 8, ObjectKind::Atomic, &mut accept_all).unwrap();
-        assert_ne!(a.page(), b.page(), "atomic and composite never share a block");
-        assert_eq!(heap.object_containing(a).unwrap().kind, ObjectKind::Composite);
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let b = heap
+            .alloc(&mut space, 8, ObjectKind::Atomic, &mut accept_all)
+            .unwrap();
+        assert_ne!(
+            a.page(),
+            b.page(),
+            "atomic and composite never share a block"
+        );
+        assert_eq!(
+            heap.object_containing(a).unwrap().kind,
+            ObjectKind::Composite
+        );
         assert_eq!(heap.object_containing(b).unwrap().kind, ObjectKind::Atomic);
     }
 
     #[test]
     fn large_alloc_spans_pages() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 100_000, ObjectKind::Composite, &mut accept_all).unwrap();
-        let obj = heap.object_containing(a + 99_999).expect("interior of large object");
+        let a = heap
+            .alloc(&mut space, 100_000, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let obj = heap
+            .object_containing(a + 99_999)
+            .expect("interior of large object");
         assert_eq!(obj.base, a);
         assert_eq!(obj.bytes, 100_000);
         // Every spanned page resolves to the object.
         for p in 0..(100_000u32.div_ceil(PAGE_BYTES)) {
             assert!(heap.object_containing(a + p * PAGE_BYTES).is_some());
         }
-        assert!(heap.object_containing(a + 100_000).is_none(), "past the end");
+        assert!(
+            heap.object_containing(a + 100_000).is_none(),
+            "past the end"
+        );
     }
 
     #[test]
@@ -945,9 +1053,10 @@ mod tests {
         let (mut space, mut heap) = setup();
         // Forbid the first 4 pages of the heap.
         let base_page = Addr::new(0x0003_0000).page().raw();
-        let mut pred =
-            |p: PageIdx, _u: PageUse| p.raw() >= base_page + 4;
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        let mut pred = |p: PageIdx, _u: PageUse| p.raw() >= base_page + 4;
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut pred)
+            .unwrap();
         assert!(a.page().raw() >= base_page + 4);
     }
 
@@ -959,10 +1068,14 @@ mod tests {
             uses.push(u);
             true
         };
-        heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Atomic, &mut pred).unwrap();
+        heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Atomic, &mut pred)
+            .unwrap();
         assert_eq!(
             uses[..2],
-            [PageUse::LargeFirst(ObjectKind::Atomic), PageUse::LargeBody(ObjectKind::Atomic)]
+            [
+                PageUse::LargeFirst(ObjectKind::Atomic),
+                PageUse::LargeBody(ObjectKind::Atomic)
+            ]
         );
     }
 
@@ -975,10 +1088,18 @@ mod tests {
             ..HeapConfig::default()
         });
         let mut deny_all = |_p: PageIdx, _u: PageUse| false;
-        let err = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_all).unwrap_err();
+        let err = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut deny_all)
+            .unwrap_err();
         match err {
-            HeapError::OutOfMemory { requested: 8, pages_denied } => {
-                assert!(pages_denied >= 16, "every mapped page was denied: {pages_denied}")
+            HeapError::OutOfMemory {
+                requested: 8,
+                pages_denied,
+            } => {
+                assert!(
+                    pages_denied >= 16,
+                    "every mapped page was denied: {pages_denied}"
+                )
             }
             other => panic!("unexpected error {other}"),
         }
@@ -987,8 +1108,12 @@ mod tests {
     #[test]
     fn sweep_reclaims_unmarked() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
-        let b = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let b = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         heap.clear_marks();
         let obj_a = heap.object_containing(a).unwrap();
         assert!(heap.set_marked(obj_a));
@@ -1003,7 +1128,14 @@ mod tests {
     #[test]
     fn sweep_releases_empty_blocks() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(
+                &mut space,
+                2 * PAGE_BYTES,
+                ObjectKind::Composite,
+                &mut accept_all,
+            )
+            .unwrap();
         assert_eq!(heap.stats().blocks, 1);
         heap.clear_marks();
         let stats = heap.sweep();
@@ -1011,14 +1143,23 @@ mod tests {
         assert_eq!(heap.stats().blocks, 0);
         assert!(heap.object_containing(a).is_none());
         // The pages are reusable.
-        let b = heap.alloc(&mut space, 2 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap
+            .alloc(
+                &mut space,
+                2 * PAGE_BYTES,
+                ObjectKind::Composite,
+                &mut accept_all,
+            )
+            .unwrap();
         assert_eq!(b, a, "released pages are reused lowest-first");
     }
 
     #[test]
     fn explicit_free_and_double_free() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 32, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(&mut space, 32, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         heap.free_object(a).unwrap();
         assert_eq!(heap.free_object(a), Err(HeapError::NotAnObject { addr: a }));
         assert_eq!(
@@ -1030,8 +1171,12 @@ mod tests {
     #[test]
     fn double_free_detected_when_block_survives() {
         let (mut space, mut heap) = setup();
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
-        let _b = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let _b = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         heap.free_object(a).unwrap();
         assert_eq!(heap.free_object(a), Err(HeapError::DoubleFree { addr: a }));
     }
@@ -1040,7 +1185,9 @@ mod tests {
     fn stats_track_liveness() {
         let (mut space, mut heap) = setup();
         assert_eq!(heap.stats().bytes_live, 0);
-        let a = heap.alloc(&mut space, 100, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(&mut space, 100, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         let s = heap.stats();
         assert_eq!(s.bytes_live, 128, "100 bytes rounds to the 128-byte class");
         assert_eq!(s.bytes_allocated_total, 128);
@@ -1056,7 +1203,8 @@ mod tests {
     fn heap_range_grows() {
         let (mut space, mut heap) = setup();
         assert!(!heap.in_heap_range(Addr::new(0x0003_0000)));
-        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
+        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         assert!(heap.in_heap_range(Addr::new(0x0003_0000)));
         assert_eq!(heap.lo(), Some(Addr::new(0x0003_0000)));
         assert_eq!(heap.hi(), Addr::new(0x0003_0000) + 16 * PAGE_BYTES);
@@ -1067,17 +1215,30 @@ mod tests {
         let (mut space, mut heap) = setup();
         // Drop a foreign segment right where the heap wants to grow.
         space
-            .map(SegmentSpec::new("lib", SegmentKind::Data, Addr::new(0x0003_0000), PAGE_BYTES))
+            .map(SegmentSpec::new(
+                "lib",
+                SegmentKind::Data,
+                Addr::new(0x0003_0000),
+                PAGE_BYTES,
+            ))
             .unwrap();
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all).unwrap();
-        assert!(a.raw() >= 0x0003_1000, "heap skipped the occupied page, got {a}");
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        assert!(
+            a.raw() >= 0x0003_1000,
+            "heap skipped the occupied page, got {a}"
+        );
     }
 
     #[test]
     fn live_objects_enumeration() {
         let (mut space, mut heap) = setup();
         let mut addrs: Vec<Addr> = (0..5)
-            .map(|_| heap.alloc(&mut space, 24, ObjectKind::Composite, &mut accept_all).unwrap())
+            .map(|_| {
+                heap.alloc(&mut space, 24, ObjectKind::Composite, &mut accept_all)
+                    .unwrap()
+            })
             .collect();
         let mut live: Vec<Addr> = heap.live_objects().map(|o| o.base).collect();
         addrs.sort_unstable();
@@ -1089,12 +1250,33 @@ mod tests {
     fn free_run_coalescing_allows_large_reuse() {
         let (mut space, mut heap) = setup();
         // Two adjacent large objects.
-        let a = heap.alloc(&mut space, 3 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
-        let b = heap.alloc(&mut space, 3 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        let a = heap
+            .alloc(
+                &mut space,
+                3 * PAGE_BYTES,
+                ObjectKind::Composite,
+                &mut accept_all,
+            )
+            .unwrap();
+        let b = heap
+            .alloc(
+                &mut space,
+                3 * PAGE_BYTES,
+                ObjectKind::Composite,
+                &mut accept_all,
+            )
+            .unwrap();
         heap.free_object(a).unwrap();
         heap.free_object(b).unwrap();
         // The coalesced 6-page run satisfies a 6-page request in place.
-        let c = heap.alloc(&mut space, 6 * PAGE_BYTES, ObjectKind::Composite, &mut accept_all).unwrap();
+        let c = heap
+            .alloc(
+                &mut space,
+                6 * PAGE_BYTES,
+                ObjectKind::Composite,
+                &mut accept_all,
+            )
+            .unwrap();
         assert_eq!(c, a.min(b));
     }
 }
@@ -1130,7 +1312,9 @@ mod quarantine_tests {
                 true
             }
         };
-        let a = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut pred)
+            .unwrap();
         assert!(a.page().raw() >= base_page + 8);
         assert_eq!(heap.quarantined_pages(), 8);
         let first_round = denials.get();
@@ -1138,9 +1322,14 @@ mod quarantine_tests {
         // Exhaust the block so the next allocation needs a fresh page: the
         // quarantined pages are NOT re-examined (footnote 3's fix).
         for _ in 0..1024 {
-            heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+            heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred)
+                .unwrap();
         }
-        assert_eq!(denials.get(), first_round, "quarantined pages never rescanned");
+        assert_eq!(
+            denials.get(),
+            first_round,
+            "quarantined pages never rescanned"
+        );
     }
 
     #[test]
@@ -1152,10 +1341,14 @@ mod quarantine_tests {
         let mut pred = |p: PageIdx, u: PageUse| {
             p.raw() != base_page || matches!(u, PageUse::SmallBlock(ObjectKind::Atomic))
         };
-        let c = heap.alloc(&mut space, 8, ObjectKind::Composite, &mut pred).unwrap();
+        let c = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut pred)
+            .unwrap();
         assert_ne!(c.page().raw(), base_page);
         assert_eq!(heap.quarantined_pages(), 1);
-        let a = heap.alloc(&mut space, 8, ObjectKind::Atomic, &mut pred).unwrap();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Atomic, &mut pred)
+            .unwrap();
         assert_eq!(a.page().raw(), base_page, "atomic drew from the quarantine");
         assert_eq!(heap.quarantined_pages(), 0);
     }
@@ -1165,16 +1358,21 @@ mod quarantine_tests {
         let (mut space, mut heap) = setup();
         let base_page = Addr::new(0x0003_0000).page().raw();
         let mut deny_first = |p: PageIdx, _u: PageUse| p.raw() != base_page;
-        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_first).unwrap();
+        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_first)
+            .unwrap();
         assert_eq!(heap.quarantined_pages(), 1);
         heap.note_collection();
         assert_eq!(heap.quarantined_pages(), 0);
         // The page is usable again once the predicate (blacklist) relents.
-        let b = heap.alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all).unwrap();
+        let b = heap
+            .alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
         let _ = b;
         let mut seen_first = false;
         for _ in 0..64 {
-            let x = heap.alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all).unwrap();
+            let x = heap
+                .alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all)
+                .unwrap();
             if x.page().raw() == base_page {
                 seen_first = true;
             }
@@ -1187,7 +1385,8 @@ mod quarantine_tests {
         let (mut space, mut heap) = setup();
         let base_page = Addr::new(0x0003_0000).page().raw();
         let mut deny_first = |p: PageIdx, _u: PageUse| p.raw() != base_page;
-        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_first).unwrap();
+        heap.alloc(&mut space, 8, ObjectKind::Composite, &mut deny_first)
+            .unwrap();
         let stats = heap.stats();
         assert_eq!(stats.mapped_pages, 16);
         // 16 mapped - 1 block page = 15 free, of which 1 quarantined.

@@ -49,5 +49,8 @@ pub use block::{Block, BlockId, BlockShape, ObjRef, ObjectKind};
 pub use error::HeapError;
 pub use explicit::ExplicitHeap;
 pub use freelist::{FreeList, FreeListPolicy};
-pub use heap::{accept_all, Descriptor, DescriptorId, Heap, HeapConfig, HeapStats, PagePredicate, PageUse, SweepStats};
+pub use heap::{
+    accept_all, Descriptor, DescriptorId, Heap, HeapConfig, HeapStats, PagePredicate, PageUse,
+    SizeClassCensus, SweepStats,
+};
 pub use sizeclass::{SizeClass, GRANULE_BYTES, MAX_SMALL_BYTES};

@@ -26,7 +26,9 @@ fn check_invariants(heap: &Heap) {
         // Base and last byte resolve to the same object.
         let via_base = heap.object_containing(obj.base).expect("base resolves");
         assert_eq!(via_base.base, obj.base);
-        let via_last = heap.object_containing(obj.base + obj.bytes - 1).expect("interior resolves");
+        let via_last = heap
+            .object_containing(obj.base + obj.bytes - 1)
+            .expect("interior resolves");
         assert_eq!(via_last.base, obj.base);
     }
     extents.sort_unstable();
@@ -35,7 +37,11 @@ fn check_invariants(heap: &Heap) {
     }
     // 2. bytes_live accounting agrees with enumeration.
     let sum: u64 = heap.live_objects().map(|o| u64::from(o.bytes)).sum();
-    assert_eq!(heap.stats().bytes_live, sum, "bytes_live accounting drifted");
+    assert_eq!(
+        heap.stats().bytes_live,
+        sum,
+        "bytes_live accounting drifted"
+    );
     // 3. Every block's pages are inside the heap range.
     for block in heap.blocks() {
         assert!(heap.in_heap_range(block.base()));

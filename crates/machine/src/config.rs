@@ -21,7 +21,10 @@ pub struct FramePolicy {
 
 impl Default for FramePolicy {
     fn default() -> Self {
-        FramePolicy { pad_words: 8, clear_on_push: false }
+        FramePolicy {
+            pad_words: 8,
+            clear_on_push: false,
+        }
     }
 }
 
@@ -45,7 +48,11 @@ pub struct StackClearing {
 
 impl Default for StackClearing {
     fn default() -> Self {
-        StackClearing { enabled: false, every_allocs: 64, max_bytes_per_clear: 16 << 10 }
+        StackClearing {
+            enabled: false,
+            every_allocs: 64,
+            max_bytes_per_clear: 16 << 10,
+        }
     }
 }
 
@@ -108,7 +115,7 @@ impl Default for MachineConfig {
             collector_hygiene: true,
             collector_frame_bytes: 160,
             syscall_noise_registers: 0,
-            seed: 0x5ec_6c,
+            seed: 0x0005_ec6c,
         }
     }
 }
@@ -125,6 +132,9 @@ mod tests {
         assert!(!c.stack_clearing.enabled);
         assert!(c.allocator_hygiene);
         assert!(!c.frame.clear_on_push);
-        assert!(c.frame.pad_words > 0, "RISC frames are oversized by default");
+        assert!(
+            c.frame.pad_words > 0,
+            "RISC frames are oversized by default"
+        );
     }
 }

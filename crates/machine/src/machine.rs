@@ -119,7 +119,12 @@ impl Machine {
             .expect("register file maps at the top of the address space");
         let stack_limit = config.stack_top - config.stack_bytes;
         let stack_seg = space
-            .map(SegmentSpec::new("stack-0", SegmentKind::Stack, stack_limit, config.stack_bytes))
+            .map(SegmentSpec::new(
+                "stack-0",
+                SegmentKind::Stack,
+                stack_limit,
+                config.stack_bytes,
+            ))
             .expect("main stack maps below the register file");
         // The collector scans only the live part of each stack.
         space.set_root_window(stack_seg, Some((config.stack_top, config.stack_top)));
@@ -161,7 +166,12 @@ impl Machine {
         let id = self
             .gc
             .space_mut()
-            .map(SegmentSpec::new("program-statics", SegmentKind::Bss, base, bytes))
+            .map(SegmentSpec::new(
+                "program-statics",
+                SegmentKind::Bss,
+                base,
+                bytes,
+            ))
             .expect("static segment maps cleanly");
         self.statics = Some((base, base + bytes));
         id
@@ -206,7 +216,12 @@ impl Machine {
         let seg = self
             .gc
             .space_mut()
-            .map(SegmentSpec::new(name, SegmentKind::Stack, limit, stack_bytes))
+            .map(SegmentSpec::new(
+                name,
+                SegmentKind::Stack,
+                limit,
+                stack_bytes,
+            ))
             .expect("thread stack maps below previous stacks");
         self.next_stack_top = limit - PAGE_BYTES;
         self.gc.space_mut().set_root_window(seg, Some((top, top)));
@@ -303,7 +318,8 @@ impl Machine {
             let lo = if self.collector_hygiene {
                 t.sp
             } else {
-                t.stack_limit.max(t.sp - self.collector_frame_bytes.min(t.sp - t.stack_limit))
+                t.stack_limit
+                    .max(t.sp - self.collector_frame_bytes.min(t.sp - t.stack_limit))
             };
             (t.stack_seg, lo, t.stack_top)
         };
@@ -325,7 +341,10 @@ impl Machine {
     pub fn local(&self, i: u32) -> u32 {
         let (base, locals) = self.top_frame();
         assert!(i < locals, "local {i} out of range {locals}");
-        self.gc.space().read_u32(base + i * 4).expect("frame memory is mapped")
+        self.gc
+            .space()
+            .read_u32(base + i * 4)
+            .expect("frame memory is mapped")
     }
 
     /// Writes local word `i` of the current frame.
@@ -336,7 +355,10 @@ impl Machine {
     pub fn set_local(&mut self, i: u32, value: u32) {
         let (base, locals) = self.top_frame();
         assert!(i < locals, "local {i} out of range {locals}");
-        self.gc.space_mut().write_u32(base + i * 4, value).expect("frame memory is mapped");
+        self.gc
+            .space_mut()
+            .write_u32(base + i * 4, value)
+            .expect("frame memory is mapped");
     }
 
     /// Number of padding words in every frame.
@@ -354,13 +376,19 @@ impl Machine {
     /// Panics outside any frame or if `offset` exceeds the configured
     /// padding.
     pub fn scribble_pad(&mut self, offset: u32, value: u32) {
-        assert!(offset < self.frame_policy.pad_words, "pad offset {offset} out of range");
+        assert!(
+            offset < self.frame_policy.pad_words,
+            "pad offset {offset} out of range"
+        );
         assert!(
             !self.threads[self.current].frames.is_empty(),
             "scribble_pad requires a live frame"
         );
         let sp = self.threads[self.current].sp;
-        self.gc.space_mut().write_u32(sp + offset * 4, value).expect("pad memory is mapped");
+        self.gc
+            .space_mut()
+            .write_u32(sp + offset * 4, value)
+            .expect("pad memory is mapped");
     }
 
     /// Current stack pointer of the executing thread.
@@ -377,10 +405,17 @@ impl Machine {
 
     fn reg_addr(&self, i: u32) -> Addr {
         if self.register_windows == 0 {
-            assert!(i < self.registers, "register {i} out of range {}", self.registers);
+            assert!(
+                i < self.registers,
+                "register {i} out of range {}",
+                self.registers
+            );
             self.reg_base + i * 4
         } else {
-            assert!(i < 24, "windowed machines expose g0-g7 and 16 window registers");
+            assert!(
+                i < 24,
+                "windowed machines expose g0-g7 and 16 window registers"
+            );
             if i < 8 {
                 self.reg_base + i * 4
             } else {
@@ -402,7 +437,10 @@ impl Machine {
     ///
     /// Panics if `i` is out of range for the register model.
     pub fn reg(&self, i: u32) -> u32 {
-        self.gc.space().read_u32(self.reg_addr(i)).expect("register file is mapped")
+        self.gc
+            .space()
+            .read_u32(self.reg_addr(i))
+            .expect("register file is mapped")
     }
 
     /// Writes register `i`. See [`Machine::reg`] for the window model.
@@ -412,13 +450,20 @@ impl Machine {
     /// Panics if `i` is out of range for the register model.
     pub fn set_reg(&mut self, i: u32, value: u32) {
         let addr = self.reg_addr(i);
-        self.gc.space_mut().write_u32(addr, value).expect("register file is mapped");
+        self.gc
+            .space_mut()
+            .write_u32(addr, value)
+            .expect("register file is mapped");
     }
 
     /// Simulates a system call: the kernel leaves droppings in the
     /// configured number of registers (appendix B's SGI/SPARC effect).
     pub fn syscall(&mut self) {
-        let visible = if self.register_windows == 0 { self.registers } else { 24 };
+        let visible = if self.register_windows == 0 {
+            self.registers
+        } else {
+            24
+        };
         for _ in 0..self.syscall_noise_registers {
             let i = self.rng.random_range(0..visible);
             let v = self.rng.random::<u32>();
@@ -434,7 +479,10 @@ impl Machine {
     ///
     /// Panics on a memory fault (a workload bug).
     pub fn load(&self, addr: Addr) -> u32 {
-        self.gc.space().read_u32(addr).expect("workload reads mapped memory")
+        self.gc
+            .space()
+            .read_u32(addr)
+            .expect("workload reads mapped memory")
     }
 
     /// Stores a word to simulated memory, running the generational write
@@ -445,7 +493,10 @@ impl Machine {
     ///
     /// Panics on a memory fault (a workload bug).
     pub fn store(&mut self, addr: Addr, value: u32) {
-        self.gc.space_mut().write_u32(addr, value).expect("workload writes mapped memory");
+        self.gc
+            .space_mut()
+            .write_u32(addr, value)
+            .expect("workload writes mapped memory");
         self.gc.record_write(addr);
     }
 
@@ -480,7 +531,9 @@ impl Machine {
         self.alloc_count += 1;
         if self.stack_clearing.enabled
             && self.stack_clearing.every_allocs > 0
-            && self.alloc_count % u64::from(self.stack_clearing.every_allocs) == 0
+            && self
+                .alloc_count
+                .is_multiple_of(u64::from(self.stack_clearing.every_allocs))
         {
             self.clear_dead_stack();
         }
@@ -493,7 +546,11 @@ impl Machine {
             // the fresh pointer in a scratch register and in its (now dead)
             // stack frame just below sp — invisible until the client stack
             // grows back over it without overwriting.
-            let scratch = if self.register_windows == 0 { self.registers - 1 } else { 7 };
+            let scratch = if self.register_windows == 0 {
+                self.registers - 1
+            } else {
+                7
+            };
             self.set_reg(scratch, addr.raw());
             let t = &self.threads[self.current];
             let (sp, limit) = (t.sp, t.stack_limit);
@@ -505,8 +562,12 @@ impl Machine {
                 let off1 = 4 * self.rng.random_range(2u32..16);
                 let off2 = 4 * self.rng.random_range(2u32..16);
                 let space = self.gc.space_mut();
-                space.write_u32(sp - off1, addr.raw()).expect("allocator frame is mapped");
-                space.write_u32(sp - off2, addr.raw()).expect("allocator frame is mapped");
+                space
+                    .write_u32(sp - off1, addr.raw())
+                    .expect("allocator frame is mapped");
+                space
+                    .write_u32(sp - off2, addr.raw())
+                    .expect("allocator frame is mapped");
             }
         }
         Ok(addr)
@@ -527,7 +588,9 @@ impl Machine {
         self.alloc_count += 1;
         if self.stack_clearing.enabled
             && self.stack_clearing.every_allocs > 0
-            && self.alloc_count % u64::from(self.stack_clearing.every_allocs) == 0
+            && self
+                .alloc_count
+                .is_multiple_of(u64::from(self.stack_clearing.every_allocs))
         {
             self.clear_dead_stack();
         }
@@ -546,7 +609,10 @@ impl Machine {
         const RUNTIME_FRAME_ZONE: u32 = 256;
         let (lo, sp) = {
             let t = &self.threads[self.current];
-            let lo = t.deepest_sp.min(t.sp).checked_sub(RUNTIME_FRAME_ZONE)
+            let lo = t
+                .deepest_sp
+                .min(t.sp)
+                .checked_sub(RUNTIME_FRAME_ZONE)
                 .map_or(t.stack_limit, |a| a.max(t.stack_limit));
             (lo, t.sp)
         };
@@ -556,11 +622,15 @@ impl Machine {
         let dead = sp - lo;
         let len = dead.min(self.stack_clearing.max_bytes_per_clear);
         let start = sp - len;
-        self.gc.space_mut().fill(start, len, 0).expect("stack memory is mapped");
+        self.gc
+            .space_mut()
+            .fill(start, len, 0)
+            .expect("stack memory is mapped");
         if len == dead {
             let t = &mut self.threads[self.current];
             t.deepest_sp = t.sp;
         }
+        self.gc.note_stack_clear(len);
         len
     }
 
@@ -655,7 +725,10 @@ mod tests {
         // invoked, with a again appearing live, since it failed to be
         // overwritten during the second stack expansion."
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 0, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 0,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.call(1, |m| {
             let obj = m.alloc(8, ObjectKind::Composite).unwrap();
@@ -665,7 +738,10 @@ mod tests {
         // Regrow with a same-shaped frame whose local 0 is never written.
         m.call(1, |m| {
             m.collect();
-            assert!(m.gc().is_live(obj), "stale word inside the live window pins obj");
+            assert!(
+                m.gc().is_live(obj),
+                "stale word inside the live window pins obj"
+            );
         });
         // Popped again: invisible, and reclaimed.
         m.collect();
@@ -677,7 +753,10 @@ mod tests {
         // "The client program may have a very regular execution, ensuring
         // that the same stack locations are always overwritten."
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 0, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 0,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.call(1, |m| {
             let obj = m.alloc(8, ObjectKind::Composite).unwrap();
@@ -696,7 +775,10 @@ mod tests {
         // The RISC large-frame effect: padding words of the new frame cover
         // the old frame's pointer slot but are never written.
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 8, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 8,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.call(8, |m| {
             let obj = m.alloc(8, ObjectKind::Composite).unwrap();
@@ -717,7 +799,10 @@ mod tests {
     #[test]
     fn clear_on_push_removes_stale_locals() {
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 8, clear_on_push: true };
+        cfg.frame = FramePolicy {
+            pad_words: 8,
+            clear_on_push: true,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.call(8, |m| {
             let obj = m.alloc(8, ObjectKind::Composite).unwrap();
@@ -726,7 +811,10 @@ mod tests {
         });
         m.call(1, |m| {
             m.collect();
-            assert!(!m.gc().is_live(obj), "defensively cleared frame hides nothing");
+            assert!(
+                !m.gc().is_live(obj),
+                "defensively cleared frame hides nothing"
+            );
         });
     }
 
@@ -734,7 +822,10 @@ mod tests {
     fn explicit_stack_clearing_prevents_regrowth_exposure() {
         // §3.1's allocator technique, invoked directly.
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 0, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 0,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.call(1, |m| {
             let obj = m.alloc(8, ObjectKind::Composite).unwrap();
@@ -752,7 +843,10 @@ mod tests {
     #[test]
     fn periodic_stack_clearing_bounds_stale_retention() {
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 0, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 0,
+            clear_on_push: false,
+        };
         cfg.stack_clearing = StackClearing {
             enabled: true,
             every_allocs: 1,
@@ -812,7 +906,10 @@ mod tests {
         let mut m = Machine::new(cfg);
         let obj = m.alloc(8, ObjectKind::Composite).unwrap();
         m.collect();
-        assert!(m.gc().is_live(obj), "scratch register pins the fresh object");
+        assert!(
+            m.gc().is_live(obj),
+            "scratch register pins the fresh object"
+        );
         // A hygienic allocator leaves nothing behind.
         let mut m = Machine::new(quiet_config());
         let obj = m.alloc(8, ObjectKind::Composite).unwrap();
@@ -826,7 +923,10 @@ mod tests {
         // whose padding covers that region re-exposes it to the collector.
         let mut cfg = quiet_config();
         cfg.allocator_hygiene = false;
-        cfg.frame = FramePolicy { pad_words: 8, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 8,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.alloc(8, ObjectKind::Composite).unwrap();
         m.set_reg(31, 0); // clear the allocator scratch register
@@ -863,7 +963,7 @@ mod tests {
         cfg.stack_bytes = 4096;
         let mut m = Machine::new(cfg);
         fn recurse(m: &mut Machine) {
-            m.call(64, |m| recurse(m));
+            m.call(64, recurse);
         }
         recurse(&mut m);
     }
@@ -871,13 +971,19 @@ mod tests {
     #[test]
     fn scribbled_pads_pin_objects_until_overwritten() {
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 4, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 4,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         let obj = m.alloc(8, ObjectKind::Composite).unwrap();
         m.call(1, |m| {
             m.scribble_pad(2, obj.raw());
             m.collect();
-            assert!(m.gc().is_live(obj), "trap dropping in the pad pins the object");
+            assert!(
+                m.gc().is_live(obj),
+                "trap dropping in the pad pins the object"
+            );
         });
         m.collect();
         assert!(!m.gc().is_live(obj), "pad is below sp after the pop");
@@ -887,7 +993,10 @@ mod tests {
     #[should_panic(expected = "pad offset")]
     fn scribble_pad_bounds_checked() {
         let mut cfg = quiet_config();
-        cfg.frame = FramePolicy { pad_words: 2, clear_on_push: false };
+        cfg.frame = FramePolicy {
+            pad_words: 2,
+            clear_on_push: false,
+        };
         let mut m = Machine::new(cfg);
         m.call(1, |m| m.scribble_pad(2, 1));
     }

@@ -19,7 +19,10 @@ fn machine(pad: u32, windows: u32, clearing: bool) -> Machine {
             min_bytes_between_gcs: 64 << 10,
             ..GcConfig::default()
         },
-        frame: FramePolicy { pad_words: pad, clear_on_push: false },
+        frame: FramePolicy {
+            pad_words: pad,
+            clear_on_push: false,
+        },
         register_windows: windows,
         stack_clearing: StackClearing {
             enabled: clearing,
@@ -43,7 +46,7 @@ fn recurse(m: &mut Machine, depth: u32, max_depth: u32, salt: u32) {
         let b = a ^ 0x5a5a_5a5a;
         m.set_local(0, a);
         m.set_local(1, b);
-        if depth % 3 == 0 {
+        if depth.is_multiple_of(3) {
             let obj = m.alloc(8, ObjectKind::Composite).expect("heap has room");
             m.set_local(2, obj.raw());
         }

@@ -65,7 +65,7 @@ impl ValueDist {
                 let v = 10f32.powf(mag) * if rng.random_bool(0.5) { 1.0 } else { -1.0 };
                 v.to_bits()
             }
-            ValueDist::KernelAddr => rng.random_range(0x8000_0000..0xF000_0000),
+            ValueDist::KernelAddr => rng.random_range(0x8000_0000u32..0xF000_0000),
             ValueDist::Mix(parts) => {
                 let total: f64 = parts.iter().map(|(w, _)| *w).sum();
                 assert!(total > 0.0, "mixture needs positive weight");

@@ -36,5 +36,7 @@ mod profile;
 
 pub use dist::ValueDist;
 pub use platform::{Platform, PlatformHooks, TrapNoise};
-pub use pollution::{environ_bytes, install, junk_bytes, string_bytes, JunkArray, Pollution, StringTable};
+pub use pollution::{
+    environ_bytes, install, junk_bytes, string_bytes, JunkArray, Pollution, StringTable,
+};
 pub use profile::{BuildOptions, Profile, Quirk};

@@ -63,7 +63,7 @@ impl PlatformHooks {
         if let Some(noise) = &self.trap_noise.clone() {
             let visible = if m.pad_words() > 0 { m.pad_words() } else { 0 };
             for _ in 0..noise.registers {
-                let i = self.rng.random_range(0..24u32.min(31));
+                let i = self.rng.random_range(0..24u32);
                 let v = self.noise_value(noise);
                 m.set_reg(i, v);
             }
@@ -89,7 +89,7 @@ impl PlatformHooks {
         }
         // Background threads wake occasionally and run a little work,
         // churning the shared register file and their own stacks.
-        if !self.background_threads.is_empty() && self.ticks % 4 == 0 {
+        if !self.background_threads.is_empty() && self.ticks.is_multiple_of(4) {
             let idx = self.rng.random_range(0..self.background_threads.len());
             let t = self.background_threads[idx];
             let home = m.current_thread();
@@ -163,11 +163,7 @@ impl Profile {
     /// Like [`Profile::build`], with a hook to adjust the collector
     /// configuration before the machine is created (used by the ablation
     /// studies: blacklist backends, TTLs, scan alignment, growth windows).
-    pub fn build_custom(
-        &self,
-        opts: BuildOptions,
-        tweak: impl FnOnce(&mut GcConfig),
-    ) -> Platform {
+    pub fn build_custom(&self, opts: BuildOptions, tweak: impl FnOnce(&mut GcConfig)) -> Platform {
         let mut gc = GcConfig {
             heap: HeapConfig {
                 heap_base: self.heap_base,
@@ -189,7 +185,10 @@ impl Profile {
             allocator_hygiene: self.allocator_hygiene,
             collector_hygiene: self.collector_hygiene,
             syscall_noise_registers: 0,
-            seed: opts.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+            seed: opts
+                .seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(1),
             ..MachineConfig::default()
         };
         let mut machine = Machine::new(config);
@@ -244,7 +243,9 @@ impl Profile {
         let mut hooks_rng = SmallRng::seed_from_u64(opts.seed ^ 0x71C4);
         let mut palette = Vec::new();
         if let Some(noise) = &self.trap_noise {
-            palette = noise.dist.sample_n(&mut hooks_rng, noise.palette_size as usize);
+            palette = noise
+                .dist
+                .sample_n(&mut hooks_rng, noise.palette_size as usize);
             for (k, &v) in palette.iter().enumerate().take(8) {
                 let reg = (3 + 2 * k as u32) % 24;
                 machine.set_reg(reg, v);
@@ -272,7 +273,9 @@ fn build_co_resident(m: &mut Machine, root: Addr, bytes: u64) {
     let cells = bytes / 8;
     let mut head = 0u32;
     for i in 0..cells {
-        let cell = m.alloc(8, ObjectKind::Composite).expect("co-resident data fits the heap");
+        let cell = m
+            .alloc(8, ObjectKind::Composite)
+            .expect("co-resident data fits the heap");
         m.store(cell, head);
         m.store(cell + 4, (i as u32) & 0xFFFF);
         head = cell.raw();
@@ -310,8 +313,16 @@ mod tests {
 
     #[test]
     fn deterministic_statics_are_seed_independent() {
-        let a = Profile::os2(false).build(BuildOptions { seed: 1, blacklisting: true, ..BuildOptions::default() });
-        let b = Profile::os2(false).build(BuildOptions { seed: 999, blacklisting: true, ..BuildOptions::default() });
+        let a = Profile::os2(false).build(BuildOptions {
+            seed: 1,
+            blacklisting: true,
+            ..BuildOptions::default()
+        });
+        let b = Profile::os2(false).build(BuildOptions {
+            seed: 999,
+            blacklisting: true,
+            ..BuildOptions::default()
+        });
         let read = |p: &Platform| {
             let seg = p
                 .machine
@@ -324,8 +335,16 @@ mod tests {
         };
         assert_eq!(read(&a), read(&b), "OS/2 pollution is reproducible");
         // SPARC pollution varies with the seed.
-        let a = Profile::sparc_static(false).build(BuildOptions { seed: 1, blacklisting: true, ..BuildOptions::default() });
-        let b = Profile::sparc_static(false).build(BuildOptions { seed: 999, blacklisting: true, ..BuildOptions::default() });
+        let a = Profile::sparc_static(false).build(BuildOptions {
+            seed: 1,
+            blacklisting: true,
+            ..BuildOptions::default()
+        });
+        let b = Profile::sparc_static(false).build(BuildOptions {
+            seed: 999,
+            blacklisting: true,
+            ..BuildOptions::default()
+        });
         assert_ne!(read(&a), read(&b));
     }
 
@@ -346,7 +365,10 @@ mod tests {
         }
         machine.collect();
         let live_after = machine.gc().heap().stats().bytes_live;
-        assert!(live_after > live_before, "concurrent client allocated live data");
+        assert!(
+            live_after > live_before,
+            "concurrent client allocated live data"
+        );
         assert_eq!(hooks.ticks(), 8);
     }
 

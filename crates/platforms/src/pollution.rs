@@ -59,7 +59,8 @@ pub fn junk_bytes(junk: &[JunkArray], endian: Endian, rng: &mut SmallRng) -> Vec
 
 /// Renders a packed (or aligned) C string table to bytes.
 pub fn string_bytes(table: &StringTable, rng: &mut SmallRng) -> Vec<u8> {
-    const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ%s%d/.:_-0123456789";
+    const CHARS: &[u8] =
+        b"abcdefghijklmnopqrstuvwxyz ABCDEFGHIJKLMNOPQRSTUVWXYZ%s%d/.:_-0123456789";
     let mut out = Vec::new();
     for _ in 0..table.count {
         let len = rng.random_range(table.min_len..=table.max_len);
@@ -81,15 +82,26 @@ pub fn string_bytes(table: &StringTable, rng: &mut SmallRng) -> Vec<u8> {
 
 /// Renders a UNIX environment block (`NAME=value\0`... strings).
 pub fn environ_bytes(bytes: u32, rng: &mut SmallRng) -> Vec<u8> {
-    const NAMES: &[&str] =
-        &["PATH", "HOME", "TERM", "USER", "SHELL", "DISPLAY", "LD_LIBRARY_PATH", "TZ", "LANG"];
+    const NAMES: &[&str] = &[
+        "PATH",
+        "HOME",
+        "TERM",
+        "USER",
+        "SHELL",
+        "DISPLAY",
+        "LD_LIBRARY_PATH",
+        "TZ",
+        "LANG",
+    ];
     const CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz/.:0123456789";
     let mut out = Vec::new();
     while out.len() + 16 < bytes as usize {
         let name = NAMES[rng.random_range(0..NAMES.len())];
         out.extend_from_slice(name.as_bytes());
         out.push(b'=');
-        let len = rng.random_range(4..40usize).min(bytes as usize - out.len() - 2);
+        let len = rng
+            .random_range(4..40usize)
+            .min(bytes as usize - out.len() - 2);
         for _ in 0..len {
             out.push(CHARS[rng.random_range(0..CHARS.len())]);
         }
@@ -120,9 +132,16 @@ pub fn install(
     let junk = junk_bytes(&pollution.junk, endian, rng);
     if !junk.is_empty() {
         let id = space
-            .map(SegmentSpec::new("libc-junk", SegmentKind::Data, cursor, junk.len() as u32))
+            .map(SegmentSpec::new(
+                "libc-junk",
+                SegmentKind::Data,
+                cursor,
+                junk.len() as u32,
+            ))
             .expect("junk segment maps cleanly");
-        space.write_bytes(cursor, &junk).expect("junk fits its segment");
+        space
+            .write_bytes(cursor, &junk)
+            .expect("junk fits its segment");
         cursor = (cursor + junk.len() as u32).align_up(16);
         ids.push(id);
     }
@@ -130,18 +149,32 @@ pub fn install(
         let bytes = string_bytes(table, rng);
         if !bytes.is_empty() {
             let id = space
-                .map(SegmentSpec::new("libc-strings", SegmentKind::Data, cursor, bytes.len() as u32))
+                .map(SegmentSpec::new(
+                    "libc-strings",
+                    SegmentKind::Data,
+                    cursor,
+                    bytes.len() as u32,
+                ))
                 .expect("string segment maps cleanly");
-            space.write_bytes(cursor, &bytes).expect("strings fit their segment");
+            space
+                .write_bytes(cursor, &bytes)
+                .expect("strings fit their segment");
             ids.push(id);
         }
     }
     if pollution.environ_bytes > 0 {
         let bytes = environ_bytes(pollution.environ_bytes, rng);
         let id = space
-            .map(SegmentSpec::new("environ", SegmentKind::Environ, environ_base, bytes.len() as u32))
+            .map(SegmentSpec::new(
+                "environ",
+                SegmentKind::Environ,
+                environ_base,
+                bytes.len() as u32,
+            ))
             .expect("environ block maps cleanly");
-        space.write_bytes(environ_base, &bytes).expect("environ fits its segment");
+        space
+            .write_bytes(environ_base, &bytes)
+            .expect("environ fits its segment");
         ids.push(id);
     }
     ids
@@ -159,8 +192,14 @@ mod tests {
     #[test]
     fn junk_renders_all_words() {
         let arrays = vec![
-            JunkArray { words: 10, dist: ValueDist::SmallInt(5) },
-            JunkArray { words: 6, dist: ValueDist::KernelAddr },
+            JunkArray {
+                words: 10,
+                dist: ValueDist::SmallInt(5),
+            },
+            JunkArray {
+                words: 6,
+                dist: ValueDist::KernelAddr,
+            },
         ];
         let bytes = junk_bytes(&arrays, Endian::Big, &mut rng());
         assert_eq!(bytes.len(), 64);
@@ -172,7 +211,12 @@ mod tests {
 
     #[test]
     fn packed_strings_produce_low_scan_words_on_big_endian() {
-        let table = StringTable { count: 200, min_len: 5, max_len: 30, aligned: false };
+        let table = StringTable {
+            count: 200,
+            min_len: 5,
+            max_len: 30,
+            aligned: false,
+        };
         let bytes = string_bytes(&table, &mut rng());
         assert_eq!(bytes.len() % 4, 0);
         // Word-aligned scan of the packed table yields some 0x00cccccc
@@ -184,12 +228,20 @@ mod tests {
                 low_words += 1;
             }
         }
-        assert!(low_words > 10, "expected trailing-NUL words, got {low_words}");
+        assert!(
+            low_words > 10,
+            "expected trailing-NUL words, got {low_words}"
+        );
     }
 
     #[test]
     fn aligned_strings_produce_no_nul_crossing_words() {
-        let table = StringTable { count: 200, min_len: 5, max_len: 30, aligned: true };
+        let table = StringTable {
+            count: 200,
+            min_len: 5,
+            max_len: 30,
+            aligned: true,
+        };
         let bytes = string_bytes(&table, &mut rng());
         // With every string aligned, a word is either pure text, text with
         // trailing NULs, or zero — never NUL-then-text (0x00cc_cccc).
@@ -214,8 +266,16 @@ mod tests {
     fn install_maps_segments() {
         let mut space = AddressSpace::new(Endian::Big);
         let pollution = Pollution {
-            junk: vec![JunkArray { words: 64, dist: ValueDist::SmallInt(9) }],
-            strings: Some(StringTable { count: 20, min_len: 4, max_len: 10, aligned: false }),
+            junk: vec![JunkArray {
+                words: 64,
+                dist: ValueDist::SmallInt(9),
+            }],
+            strings: Some(StringTable {
+                count: 20,
+                min_len: 4,
+                max_len: 10,
+                aligned: false,
+            }),
             environ_bytes: 128,
         };
         let ids = install(

@@ -166,7 +166,10 @@ impl Profile {
                 }),
                 environ_bytes: 1024,
             },
-            frame: FramePolicy { pad_words: if optimized { 6 } else { 16 }, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: if optimized { 6 } else { 16 },
+                clear_on_push: false,
+            },
             registers: 32,
             register_windows: 8,
             trap_noise: Some(TrapNoise {
@@ -247,7 +250,10 @@ impl Profile {
                 }),
                 environ_bytes: 1024,
             },
-            frame: FramePolicy { pad_words: if optimized { 6 } else { 16 }, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: if optimized { 6 } else { 16 },
+                clear_on_push: false,
+            },
             registers: 32,
             register_windows: 0,
             trap_noise: Some(TrapNoise {
@@ -303,7 +309,10 @@ impl Profile {
                 }),
                 environ_bytes: 512,
             },
-            frame: FramePolicy { pad_words: if optimized { 4 } else { 10 }, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: if optimized { 4 } else { 10 },
+                clear_on_push: false,
+            },
             registers: 8, // x86
             register_windows: 0,
             trap_noise: None,
@@ -329,10 +338,14 @@ impl Profile {
                 count: 2 + co_resident_mb / 4,
                 stack_bytes: 64 << 10,
             },
-            Quirk::CoResidentLive { bytes: u64::from(co_resident_mb) << 20 },
+            Quirk::CoResidentLive {
+                bytes: u64::from(co_resident_mb) << 20,
+            },
         ];
         if concurrent_client {
-            quirks.push(Quirk::ConcurrentAllocation { bytes_per_tick: 48 << 10 });
+            quirks.push(Quirk::ConcurrentAllocation {
+                bytes_per_tick: 48 << 10,
+            });
         }
         Profile {
             name: "PCR".into(),
@@ -366,7 +379,10 @@ impl Profile {
                 }),
                 environ_bytes: 1024,
             },
-            frame: FramePolicy { pad_words: 12, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: 12,
+                clear_on_push: false,
+            },
             registers: 32,
             register_windows: 8,
             trap_noise: Some(TrapNoise {
@@ -400,7 +416,10 @@ impl Profile {
             program_static_base: Addr::new(0x0002_0000),
             program_static_bytes: 0x1_0000,
             pollution: Pollution::default(),
-            frame: FramePolicy { pad_words: 0, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: 0,
+                clear_on_push: false,
+            },
             registers: 32,
             register_windows: 0,
             trap_noise: None,
@@ -490,7 +509,10 @@ mod tests {
             .quirks
             .iter()
             .any(|q| matches!(q, Quirk::CoResidentLive { bytes } if *bytes == 13 << 20)));
-        assert!(p.quirks.iter().any(|q| matches!(q, Quirk::ConcurrentAllocation { .. })));
+        assert!(p
+            .quirks
+            .iter()
+            .any(|q| matches!(q, Quirk::ConcurrentAllocation { .. })));
     }
 
     #[test]

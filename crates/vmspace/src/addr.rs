@@ -69,7 +69,7 @@ impl Addr {
     /// Returns `true` if the address is aligned to a machine word.
     #[inline]
     pub const fn is_word_aligned(self) -> bool {
-        self.0 % WORD_BYTES == 0
+        self.0.is_multiple_of(WORD_BYTES)
     }
 
     /// Rounds the address down to the nearest multiple of `align`.

@@ -51,13 +51,22 @@ impl fmt::Display for VmError {
             VmError::Unmapped { addr } => write!(f, "access to unmapped address {addr}"),
             VmError::ReadOnly { addr } => write!(f, "write to read-only address {addr}"),
             VmError::Overlap { base, len } => {
-                write!(f, "mapping of {len} bytes at {base} overlaps an existing segment")
+                write!(
+                    f,
+                    "mapping of {len} bytes at {base} overlaps an existing segment"
+                )
             }
             VmError::OutOfSpace { base, len } => {
-                write!(f, "mapping of {len} bytes at {base} exceeds the 32-bit address space")
+                write!(
+                    f,
+                    "mapping of {len} bytes at {base} exceeds the 32-bit address space"
+                )
             }
             VmError::Torn { addr, width } => {
-                write!(f, "{width}-byte access at {addr} crosses a segment boundary")
+                write!(
+                    f,
+                    "{width}-byte access at {addr} crosses a segment boundary"
+                )
             }
         }
     }
@@ -71,11 +80,19 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_specific() {
-        let e = VmError::Unmapped { addr: Addr::new(0x40) };
+        let e = VmError::Unmapped {
+            addr: Addr::new(0x40),
+        };
         assert_eq!(e.to_string(), "access to unmapped address 0x00000040");
-        let e = VmError::Overlap { base: Addr::new(0), len: 7 };
+        let e = VmError::Overlap {
+            base: Addr::new(0),
+            len: 7,
+        };
         assert!(e.to_string().contains("overlaps"));
-        let e = VmError::Torn { addr: Addr::new(4), width: 4 };
+        let e = VmError::Torn {
+            addr: Addr::new(4),
+            width: 4,
+        };
         assert!(e.to_string().contains("crosses"));
     }
 

@@ -119,16 +119,24 @@ impl AddressSpace {
         };
         let new_end = old_end + u64::from(extra);
         if new_end > 1 << 32 {
-            return Err(VmError::OutOfSpace { base: Addr::new(old_end as u32), len: extra });
+            return Err(VmError::OutOfSpace {
+                base: Addr::new(old_end as u32),
+                len: extra,
+            });
         }
         // The next live segment (by base) must start at or after the new end.
         let pos = self.order.partition_point(|&(b, _)| b <= base);
         if let Some(&(next_base, _)) = self.order.get(pos) {
             if u64::from(next_base.raw()) < new_end {
-                return Err(VmError::Overlap { base: Addr::new(old_end as u32), len: extra });
+                return Err(VmError::Overlap {
+                    base: Addr::new(old_end as u32),
+                    len: extra,
+                });
             }
         }
-        let seg = self.slots[id.0 as usize].as_mut().expect("segment is mapped");
+        let seg = self.slots[id.0 as usize]
+            .as_mut()
+            .expect("segment is mapped");
         seg.data.resize(seg.data.len() + extra as usize, 0);
         Ok(())
     }
@@ -139,7 +147,9 @@ impl AddressSpace {
     ///
     /// Panics if `id` does not refer to a live segment.
     pub fn unmap(&mut self, id: SegmentId) {
-        let seg = self.slots[id.0 as usize].take().expect("segment already unmapped");
+        let seg = self.slots[id.0 as usize]
+            .take()
+            .expect("segment already unmapped");
         let pos = self
             .order
             .iter()
@@ -156,7 +166,9 @@ impl AddressSpace {
     ///
     /// Panics if the segment was never mapped or has been unmapped.
     pub fn segment(&self, id: SegmentId) -> &Segment {
-        self.slots[id.0 as usize].as_ref().expect("segment is mapped")
+        self.slots[id.0 as usize]
+            .as_ref()
+            .expect("segment is mapped")
     }
 
     /// Returns the live segment with the given id, or `None` if unmapped.
@@ -250,7 +262,9 @@ impl AddressSpace {
             }
             seg.id()
         };
-        let seg = self.slots[id.0 as usize].as_mut().expect("segment is mapped");
+        let seg = self.slots[id.0 as usize]
+            .as_mut()
+            .expect("segment is mapped");
         let off = (addr - seg.base) as usize;
         Ok((seg, off))
     }
@@ -374,7 +388,12 @@ mod tests {
     fn space_with(base: u32, len: u32) -> (AddressSpace, SegmentId) {
         let mut s = AddressSpace::new(Endian::Big);
         let id = s
-            .map(SegmentSpec::new("t", SegmentKind::Data, Addr::new(base), len))
+            .map(SegmentSpec::new(
+                "t",
+                SegmentKind::Data,
+                Addr::new(base),
+                len,
+            ))
             .expect("mapping succeeds");
         (s, id)
     }
@@ -407,11 +426,15 @@ mod tests {
         let (s, _) = space_with(0x1000, 0x1000);
         assert_eq!(
             s.read_u32(Addr::new(0x4000)),
-            Err(VmError::Unmapped { addr: Addr::new(0x4000) })
+            Err(VmError::Unmapped {
+                addr: Addr::new(0x4000)
+            })
         );
         assert_eq!(
             s.read_u8(Addr::new(0xfff)),
-            Err(VmError::Unmapped { addr: Addr::new(0xfff) })
+            Err(VmError::Unmapped {
+                addr: Addr::new(0xfff)
+            })
         );
     }
 
@@ -420,7 +443,10 @@ mod tests {
         let (s, _) = space_with(0x1000, 0x1000);
         assert_eq!(
             s.read_u32(Addr::new(0x1ffd)),
-            Err(VmError::Torn { addr: Addr::new(0x1ffd), width: 4 })
+            Err(VmError::Torn {
+                addr: Addr::new(0x1ffd),
+                width: 4
+            })
         );
         // Last valid word read.
         assert!(s.read_u32(Addr::new(0x1ffc)).is_ok());
@@ -429,11 +455,18 @@ mod tests {
     #[test]
     fn read_only_segments_reject_writes() {
         let mut s = AddressSpace::new(Endian::Big);
-        s.map(SegmentSpec::new("text", SegmentKind::Text, Addr::new(0x2000), 0x1000))
-            .unwrap();
+        s.map(SegmentSpec::new(
+            "text",
+            SegmentKind::Text,
+            Addr::new(0x2000),
+            0x1000,
+        ))
+        .unwrap();
         assert_eq!(
             s.write_u32(Addr::new(0x2000), 1),
-            Err(VmError::ReadOnly { addr: Addr::new(0x2000) })
+            Err(VmError::ReadOnly {
+                addr: Addr::new(0x2000)
+            })
         );
         assert_eq!(s.read_u32(Addr::new(0x2000)).unwrap(), 0);
     }
@@ -443,25 +476,66 @@ mod tests {
         let (mut s, _) = space_with(0x1000, 0x1000);
         for (base, len) in [(0x1000, 1u32), (0xfff, 2), (0x1fff, 1), (0x800, 0x2000)] {
             let err = s
-                .map(SegmentSpec::new("o", SegmentKind::Data, Addr::new(base), len))
+                .map(SegmentSpec::new(
+                    "o",
+                    SegmentKind::Data,
+                    Addr::new(base),
+                    len,
+                ))
                 .unwrap_err();
-            assert_eq!(err, VmError::Overlap { base: Addr::new(base), len });
+            assert_eq!(
+                err,
+                VmError::Overlap {
+                    base: Addr::new(base),
+                    len
+                }
+            );
         }
         // Adjacent segments are fine.
-        assert!(s.map(SegmentSpec::new("lo", SegmentKind::Data, Addr::new(0xf00), 0x100)).is_ok());
-        assert!(s.map(SegmentSpec::new("hi", SegmentKind::Data, Addr::new(0x2000), 0x100)).is_ok());
+        assert!(s
+            .map(SegmentSpec::new(
+                "lo",
+                SegmentKind::Data,
+                Addr::new(0xf00),
+                0x100
+            ))
+            .is_ok());
+        assert!(s
+            .map(SegmentSpec::new(
+                "hi",
+                SegmentKind::Data,
+                Addr::new(0x2000),
+                0x100
+            ))
+            .is_ok());
     }
 
     #[test]
     fn out_of_space_rejected() {
         let mut s = AddressSpace::new(Endian::Big);
         let err = s
-            .map(SegmentSpec::new("big", SegmentKind::Data, Addr::new(u32::MAX - 10), 12))
+            .map(SegmentSpec::new(
+                "big",
+                SegmentKind::Data,
+                Addr::new(u32::MAX - 10),
+                12,
+            ))
             .unwrap_err();
-        assert_eq!(err, VmError::OutOfSpace { base: Addr::new(u32::MAX - 10), len: 12 });
+        assert_eq!(
+            err,
+            VmError::OutOfSpace {
+                base: Addr::new(u32::MAX - 10),
+                len: 12
+            }
+        );
         // Ending exactly at 4 GiB is allowed.
         assert!(s
-            .map(SegmentSpec::new("top", SegmentKind::Data, Addr::new(u32::MAX - 11), 12))
+            .map(SegmentSpec::new(
+                "top",
+                SegmentKind::Data,
+                Addr::new(u32::MAX - 11),
+                12
+            ))
             .is_ok());
     }
 
@@ -471,8 +545,16 @@ mod tests {
         s.write_u32(Addr::new(0x1ffc), 7).unwrap();
         s.extend(id, 0x1000).unwrap();
         assert_eq!(s.segment(id).len(), 0x2000);
-        assert_eq!(s.read_u32(Addr::new(0x1ffc)).unwrap(), 7, "old data preserved");
-        assert_eq!(s.read_u32(Addr::new(0x2ffc)).unwrap(), 0, "extension zeroed");
+        assert_eq!(
+            s.read_u32(Addr::new(0x1ffc)).unwrap(),
+            7,
+            "old data preserved"
+        );
+        assert_eq!(
+            s.read_u32(Addr::new(0x2ffc)).unwrap(),
+            0,
+            "extension zeroed"
+        );
         // A word access across the old boundary now works.
         assert!(s.read_u32(Addr::new(0x1ffe)).is_ok());
     }
@@ -480,11 +562,25 @@ mod tests {
     #[test]
     fn extend_rejects_collisions_and_overflow() {
         let (mut s, id) = space_with(0x1000, 0x1000);
-        s.map(SegmentSpec::new("next", SegmentKind::Data, Addr::new(0x3000), 0x1000)).unwrap();
-        assert!(matches!(s.extend(id, 0x1000), Ok(())), "gap up to 0x3000 is free");
+        s.map(SegmentSpec::new(
+            "next",
+            SegmentKind::Data,
+            Addr::new(0x3000),
+            0x1000,
+        ))
+        .unwrap();
+        assert!(
+            matches!(s.extend(id, 0x1000), Ok(())),
+            "gap up to 0x3000 is free"
+        );
         assert!(matches!(s.extend(id, 1), Err(VmError::Overlap { .. })));
         let top = s
-            .map(SegmentSpec::new("top", SegmentKind::Data, Addr::new(u32::MAX - 0xfff), 0x1000))
+            .map(SegmentSpec::new(
+                "top",
+                SegmentKind::Data,
+                Addr::new(u32::MAX - 0xfff),
+                0x1000,
+            ))
             .unwrap();
         assert!(matches!(s.extend(top, 1), Err(VmError::OutOfSpace { .. })));
     }
@@ -496,7 +592,12 @@ mod tests {
         assert!(!s.is_mapped(Addr::new(0x1000)));
         assert!(s.try_segment(id).is_none());
         let id2 = s
-            .map(SegmentSpec::new("again", SegmentKind::Data, Addr::new(0x1000), 0x1000))
+            .map(SegmentSpec::new(
+                "again",
+                SegmentKind::Data,
+                Addr::new(0x1000),
+                0x1000,
+            ))
             .unwrap();
         assert_ne!(id, id2);
         assert!(s.is_mapped(Addr::new(0x1000)));
@@ -514,9 +615,27 @@ mod tests {
     #[test]
     fn roots_filter() {
         let mut s = AddressSpace::new(Endian::Big);
-        s.map(SegmentSpec::new("text", SegmentKind::Text, Addr::new(0x1000), 0x100)).unwrap();
-        s.map(SegmentSpec::new("data", SegmentKind::Data, Addr::new(0x2000), 0x100)).unwrap();
-        s.map(SegmentSpec::new("heap", SegmentKind::Heap, Addr::new(0x3000), 0x100)).unwrap();
+        s.map(SegmentSpec::new(
+            "text",
+            SegmentKind::Text,
+            Addr::new(0x1000),
+            0x100,
+        ))
+        .unwrap();
+        s.map(SegmentSpec::new(
+            "data",
+            SegmentKind::Data,
+            Addr::new(0x2000),
+            0x100,
+        ))
+        .unwrap();
+        s.map(SegmentSpec::new(
+            "heap",
+            SegmentKind::Heap,
+            Addr::new(0x3000),
+            0x100,
+        ))
+        .unwrap();
         let roots: Vec<_> = s.roots().map(|r| r.name().to_owned()).collect();
         assert_eq!(roots, vec!["data"]);
         assert_eq!(s.mapped_bytes(), 0x300);
@@ -525,9 +644,27 @@ mod tests {
     #[test]
     fn segments_iterate_in_address_order() {
         let mut s = AddressSpace::new(Endian::Big);
-        s.map(SegmentSpec::new("c", SegmentKind::Data, Addr::new(0x3000), 0x100)).unwrap();
-        s.map(SegmentSpec::new("a", SegmentKind::Data, Addr::new(0x1000), 0x100)).unwrap();
-        s.map(SegmentSpec::new("b", SegmentKind::Data, Addr::new(0x2000), 0x100)).unwrap();
+        s.map(SegmentSpec::new(
+            "c",
+            SegmentKind::Data,
+            Addr::new(0x3000),
+            0x100,
+        ))
+        .unwrap();
+        s.map(SegmentSpec::new(
+            "a",
+            SegmentKind::Data,
+            Addr::new(0x1000),
+            0x100,
+        ))
+        .unwrap();
+        s.map(SegmentSpec::new(
+            "b",
+            SegmentKind::Data,
+            Addr::new(0x2000),
+            0x100,
+        ))
+        .unwrap();
         let names: Vec<_> = s.segments().map(|x| x.name().to_owned()).collect();
         assert_eq!(names, vec!["a", "b", "c"]);
     }

@@ -34,12 +34,22 @@ impl GcBench {
     /// The classic parameters (depth 16, 4 MB array) — heavy; prefer
     /// [`GcBench::scaled`] in tests.
     pub fn classic() -> Self {
-        GcBench { long_lived_depth: 16, max_depth: 16, min_depth: 4, array_bytes: 4 << 20 }
+        GcBench {
+            long_lived_depth: 16,
+            max_depth: 16,
+            min_depth: 4,
+            array_bytes: 4 << 20,
+        }
     }
 
     /// A scaled configuration that runs in well under a second.
     pub fn scaled() -> Self {
-        GcBench { long_lived_depth: 12, max_depth: 12, min_depth: 4, array_bytes: 512 << 10 }
+        GcBench {
+            long_lived_depth: 12,
+            max_depth: 12,
+            min_depth: 4,
+            array_bytes: 512 << 10,
+        }
     }
 
     /// Nodes in a complete binary tree of the given depth.
@@ -75,9 +85,8 @@ impl GcBench {
         let mut nodes_built = 0u64;
         let mut depth = self.min_depth;
         while depth <= self.max_depth {
-            let iterations = (Self::tree_size(self.max_depth)
-                / Self::tree_size(depth))
-                .clamp(1, 64) as u32;
+            let iterations =
+                (Self::tree_size(self.max_depth) / Self::tree_size(depth)).clamp(1, 64) as u32;
             for i in 0..iterations {
                 let tree = if i % 2 == 0 {
                     make_tree_top_down(m, scratch, depth)
@@ -121,7 +130,9 @@ impl GcBench {
 fn new_node(m: &mut Machine, scratch: Addr, left: u32, right: u32) -> Addr {
     // Root the halves across the allocation (the C original holds them in
     // locals; our scratch static plays that role for the bottom-up order).
-    let node = m.alloc(16, ObjectKind::Composite).expect("heap has room for a node");
+    let node = m
+        .alloc(16, ObjectKind::Composite)
+        .expect("heap has room for a node");
     m.store(node, left);
     m.store(node + 4, right);
     let _ = scratch;

@@ -48,7 +48,11 @@ pub struct Grid {
 impl Grid {
     /// A representative large grid.
     pub fn paper(style: GridStyle) -> Self {
-        Grid { rows: 100, cols: 100, style }
+        Grid {
+            rows: 100,
+            cols: 100,
+            style,
+        }
     }
 
     /// Builds the grid, drops the real roots, injects `false_refs` false
@@ -134,8 +138,9 @@ impl Grid {
         let mut objects = Vec::new();
         // Header object: rows + cols chain heads.
         let header_words = self.rows + self.cols;
-        let header =
-            m.alloc(header_words * 4, ObjectKind::Composite).expect("heap has room");
+        let header = m
+            .alloc(header_words * 4, ObjectKind::Composite)
+            .expect("heap has room");
         m.store(root, header.raw());
         objects.push(header);
         // Vertices. A scratch static root keeps each fresh vertex alive
@@ -174,10 +179,7 @@ impl Grid {
 
 fn current_live(m: &Machine) -> (u64, u64) {
     let s = m.gc().heap().stats();
-    (
-        m.gc().heap().live_objects().count() as u64,
-        s.bytes_live,
-    )
+    (m.gc().heap().live_objects().count() as u64, s.bytes_live)
 }
 
 /// Results of the grid experiment.
@@ -230,7 +232,11 @@ mod tests {
     #[test]
     fn embedded_grid_retains_large_fraction() {
         let mut m = machine();
-        let grid = Grid { rows: 30, cols: 30, style: GridStyle::EmbeddedLinks };
+        let grid = Grid {
+            rows: 30,
+            cols: 30,
+            style: GridStyle::EmbeddedLinks,
+        };
         let r = grid.run(&mut m, 1, 7);
         // A single false reference to a random vertex retains everything
         // reachable right/down from it — on average about a quarter of the
@@ -244,7 +250,11 @@ mod tests {
     #[test]
     fn cons_grid_retains_at_most_rows_plus_cols() {
         let mut m = machine();
-        let grid = Grid { rows: 30, cols: 30, style: GridStyle::ConsCells };
+        let grid = Grid {
+            rows: 30,
+            cols: 30,
+            style: GridStyle::ConsCells,
+        };
         let r = grid.run(&mut m, 1, 7);
         // One false reference pins at most one row chain or column chain
         // (cons cells + vertices), never the transitive grid.
@@ -260,7 +270,12 @@ mod tests {
     fn no_false_refs_means_no_retention() {
         for style in [GridStyle::EmbeddedLinks, GridStyle::ConsCells] {
             let mut m = machine();
-            let r = Grid { rows: 10, cols: 10, style }.run(&mut m, 0, 1);
+            let r = Grid {
+                rows: 10,
+                cols: 10,
+                style,
+            }
+            .run(&mut m, 0, 1);
             assert_eq!(r.retained_objects, 0, "{style}");
         }
     }
@@ -268,7 +283,11 @@ mod tests {
     #[test]
     fn rooted_grid_is_fully_live() {
         let mut m = machine();
-        let grid = Grid { rows: 10, cols: 10, style: GridStyle::EmbeddedLinks };
+        let grid = Grid {
+            rows: 10,
+            cols: 10,
+            style: GridStyle::EmbeddedLinks,
+        };
         let r = grid.run(&mut m, 0, 1);
         assert_eq!(r.live_with_root.0, 100, "all vertices live while rooted");
         assert_eq!(r.total_objects, 100);
@@ -277,7 +296,11 @@ mod tests {
     #[test]
     fn cons_grid_object_inventory() {
         let mut m = machine();
-        let grid = Grid { rows: 5, cols: 4, style: GridStyle::ConsCells };
+        let grid = Grid {
+            rows: 5,
+            cols: 4,
+            style: GridStyle::ConsCells,
+        };
         let r = grid.run(&mut m, 0, 1);
         // header + 20 vertices + 20 row cells + 20 col cells
         assert_eq!(r.total_objects, 1 + 20 + 20 + 20);

@@ -34,7 +34,7 @@ mod tree;
 pub use gcbench::{GcBench, GcBenchReport};
 pub use grid::{Grid, GridReport, GridStyle};
 pub use program_t::{ProgramT, ProgramTReport, Tick};
-pub use queue::{QueueRun, QueueReport};
+pub use queue::{QueueReport, QueueRun};
 pub use reverse::{Reverse, ReverseReport};
 pub use stream::{StreamReport, StreamRun};
 pub use tree::{TreeReport, TreeRun};

@@ -48,19 +48,31 @@ impl ProgramT {
     /// The paper's main configuration: 200 cycles of 25 000 × 4-byte cells
     /// (100 KB per list, 20 MB total).
     pub fn paper() -> Self {
-        ProgramT { lists: 200, nodes_per_list: 25_000, cell_bytes: 4 }
+        ProgramT {
+            lists: 200,
+            nodes_per_list: 25_000,
+            cell_bytes: 4,
+        }
     }
 
     /// The OS/2 configuration: "modified to only allocate 100 lists
     /// totalling 10 MB, due to memory constraints on the machine".
     pub fn os2() -> Self {
-        ProgramT { lists: 100, nodes_per_list: 25_000, cell_bytes: 4 }
+        ProgramT {
+            lists: 100,
+            nodes_per_list: 25_000,
+            cell_bytes: 4,
+        }
     }
 
     /// The PCR configuration: "each list consisted of 12500 8-byte cells,
     /// instead of twice as many objects of half the size".
     pub fn pcr() -> Self {
-        ProgramT { lists: 200, nodes_per_list: 12_500, cell_bytes: 8 }
+        ProgramT {
+            lists: 200,
+            nodes_per_list: 12_500,
+            cell_bytes: 8,
+        }
     }
 
     /// A proportionally scaled-down shape for fast tests: `1/factor` of
@@ -166,12 +178,16 @@ impl ProgramT {
     /// into it.
     fn alloc_cycle(&self, m: &mut Machine, n: u32) -> Addr {
         m.call(2, |m| {
-            let first = m.alloc(self.cell_bytes, ObjectKind::Composite).expect("heap has room");
+            let first = m
+                .alloc(self.cell_bytes, ObjectKind::Composite)
+                .expect("heap has room");
             // Keep the chain rooted through the frame while building.
             m.set_local(0, first.raw());
             let mut prev = first;
             for k in 1..n {
-                let cell = m.alloc(self.cell_bytes, ObjectKind::Composite).expect("heap has room");
+                let cell = m
+                    .alloc(self.cell_bytes, ObjectKind::Composite)
+                    .expect("heap has room");
                 if self.cell_bytes >= 8 {
                     // The PCR variant's magic word for tracing false refs.
                     m.store(cell + 4, 0xFEED_0000 | (k & 0xFFFF));
@@ -258,7 +274,11 @@ mod tests {
     #[test]
     fn polluted_platform_without_blacklisting_retains() {
         let profile = Profile::sparc_static(false);
-        let mut p = profile.build(BuildOptions { seed: 2, blacklisting: false, ..BuildOptions::default() });
+        let mut p = profile.build(BuildOptions {
+            seed: 2,
+            blacklisting: false,
+            ..BuildOptions::default()
+        });
         let shape = ProgramT::paper().scaled(10);
         let report = shape.run(&mut p.machine, &mut no_tick);
         assert!(
@@ -270,7 +290,11 @@ mod tests {
     #[test]
     fn blacklisting_collapses_retention() {
         let profile = Profile::sparc_static(false);
-        let mut with = profile.build(BuildOptions { seed: 2, blacklisting: true, ..BuildOptions::default() });
+        let mut with = profile.build(BuildOptions {
+            seed: 2,
+            blacklisting: true,
+            ..BuildOptions::default()
+        });
         let shape = ProgramT::paper().scaled(10);
         let report = shape.run(&mut with.machine, &mut no_tick);
         assert!(
@@ -283,7 +307,11 @@ mod tests {
     #[test]
     fn report_shape() {
         let mut p = Profile::synthetic().build(BuildOptions::default());
-        let shape = ProgramT { lists: 4, nodes_per_list: 64, cell_bytes: 8 };
+        let shape = ProgramT {
+            lists: 4,
+            nodes_per_list: 64,
+            cell_bytes: 8,
+        };
         let report = shape.run(&mut p.machine, &mut no_tick);
         assert_eq!(report.lists, 4);
         assert_eq!(report.representatives.len(), 4);

@@ -120,7 +120,11 @@ impl fmt::Display for QueueReport {
         write!(
             f,
             "queue({} ops, window {}, clear_links={}): peak {} live, final {} live",
-            self.operations, self.window, self.clear_links, self.max_live_objects, self.final_live_objects
+            self.operations,
+            self.window,
+            self.clear_links,
+            self.max_live_objects,
+            self.final_live_objects
         )
     }
 }

@@ -33,7 +33,11 @@ pub struct Reverse {
 impl Reverse {
     /// The paper's configuration.
     pub fn paper(optimized: bool) -> Self {
-        Reverse { list_len: 1000, iterations: 1000, optimized }
+        Reverse {
+            list_len: 1000,
+            iterations: 1000,
+            optimized,
+        }
     }
 
     /// A scaled-down configuration for fast tests.
@@ -126,7 +130,9 @@ impl Reverse {
 
 /// Allocates an 8-byte cons cell `[car, cdr]`.
 fn cons(m: &mut Machine, car: u32, cdr: u32) -> Addr {
-    let cell = m.alloc(8, ObjectKind::Composite).expect("heap has room for a cons cell");
+    let cell = m
+        .alloc(8, ObjectKind::Composite)
+        .expect("heap has room for a cons cell");
     m.store(cell, car);
     m.store(cell + 4, cdr);
     cell
@@ -180,7 +186,10 @@ mod tests {
                 ..GcConfig::default()
             },
             stack_bytes: 2 << 20,
-            frame: FramePolicy { pad_words: pad, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: pad,
+                clear_on_push: false,
+            },
             register_windows: 8,
             allocator_hygiene: false,
             stack_clearing: StackClearing {

@@ -33,7 +33,11 @@ pub struct StreamRun {
 impl StreamRun {
     /// A representative configuration.
     pub fn paper(sever_links: bool) -> Self {
-        StreamRun { steps: 15_000, false_ref_at: Some(500), sever_links }
+        StreamRun {
+            steps: 15_000,
+            false_ref_at: Some(500),
+            sever_links,
+        }
     }
 
     /// Runs the experiment. Stream cells are 12-byte
@@ -58,7 +62,10 @@ impl StreamRun {
             // Force the next cell (memoized: the producer writes it into
             // the current cell's `next` field).
             let next = m.alloc(12, ObjectKind::Composite).expect("heap has room");
-            m.store(next, m.load(cell).wrapping_mul(1103515245).wrapping_add(12345));
+            m.store(
+                next,
+                m.load(cell).wrapping_mul(1103515245).wrapping_add(12345),
+            );
             m.store(cell + 4, next.raw());
             if Some(step) == self.false_ref_at {
                 // An integer coincides with the current cell's address.
@@ -120,14 +127,27 @@ mod tests {
     #[test]
     fn clean_stream_stays_bounded() {
         let mut m = machine();
-        let r = StreamRun { steps: 3000, false_ref_at: None, sever_links: false }.run(&mut m);
-        assert!(r.max_live_cells <= 8, "only the cursor cell chain is live: {r}");
+        let r = StreamRun {
+            steps: 3000,
+            false_ref_at: None,
+            sever_links: false,
+        }
+        .run(&mut m);
+        assert!(
+            r.max_live_cells <= 8,
+            "only the cursor cell chain is live: {r}"
+        );
     }
 
     #[test]
     fn false_ref_pins_the_forced_prefix() {
         let mut m = machine();
-        let r = StreamRun { steps: 3000, false_ref_at: Some(100), sever_links: false }.run(&mut m);
+        let r = StreamRun {
+            steps: 3000,
+            false_ref_at: Some(100),
+            sever_links: false,
+        }
+        .run(&mut m);
         assert!(
             r.final_live_cells > 2500,
             "memoized links keep every later cell reachable: {r}"
@@ -137,7 +157,15 @@ mod tests {
     #[test]
     fn severing_links_bounds_the_damage() {
         let mut m = machine();
-        let r = StreamRun { steps: 3000, false_ref_at: Some(100), sever_links: true }.run(&mut m);
-        assert!(r.final_live_cells <= 8, "one pinned cell, nothing behind it: {r}");
+        let r = StreamRun {
+            steps: 3000,
+            false_ref_at: Some(100),
+            sever_links: true,
+        }
+        .run(&mut m);
+        assert!(
+            r.final_live_cells <= 8,
+            "one pinned cell, nothing behind it: {r}"
+        );
     }
 }

@@ -28,7 +28,10 @@ pub struct TreeRun {
 impl TreeRun {
     /// A representative configuration: 2¹⁵−1 = 32 767 nodes.
     pub fn paper() -> Self {
-        TreeRun { height: 15, trials: 40 }
+        TreeRun {
+            height: 15,
+            trials: 40,
+        }
     }
 
     /// Builds the tree, then repeatedly: drops the root, plants one false
@@ -133,7 +136,10 @@ mod tests {
     #[test]
     fn mean_retention_tracks_height() {
         let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
-        let run = TreeRun { height: 10, trials: 60 };
+        let run = TreeRun {
+            height: 10,
+            trials: 60,
+        };
         let r = run.run(&mut m, 11);
         // Expected retained ≈ height (paper's claim); allow generous slack
         // for sampling noise.
@@ -153,7 +159,10 @@ mod tests {
         let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
         let root = m.alloc_static(1);
         let junk = m.alloc_static(1);
-        let run = TreeRun { height: 6, trials: 1 };
+        let run = TreeRun {
+            height: 6,
+            trials: 1,
+        };
         let nodes = run.build(&mut m, root);
         m.store(root, 0);
         m.store(junk, nodes[0].raw());
@@ -166,7 +175,10 @@ mod tests {
         let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
         let root = m.alloc_static(1);
         let junk = m.alloc_static(1);
-        let run = TreeRun { height: 6, trials: 1 };
+        let run = TreeRun {
+            height: 6,
+            trials: 1,
+        };
         let nodes = run.build(&mut m, root);
         m.store(root, 0);
         m.store(junk, nodes.last().expect("tree nonempty").raw());

@@ -6,25 +6,37 @@
 //!
 //! Run with: `cargo run --release --example extensions`
 
-use sec_gc::core::{CollectReason, Collector, GcConfig};
+use sec_gc::core::{observer, CollectReason, Collector, GcConfig, GcEvent, RingBufferSink};
 use sec_gc::heap::{Descriptor, HeapConfig, ObjectKind};
 use sec_gc::vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
 
 fn space() -> Result<AddressSpace, Box<dyn std::error::Error>> {
     let mut space = AddressSpace::new(Endian::Big);
-    space.map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 4096))?;
+    space.map(SegmentSpec::new(
+        "globals",
+        SegmentKind::Data,
+        Addr::new(0x1_0000),
+        4096,
+    ))?;
     Ok(space)
 }
 
 fn heap_config() -> HeapConfig {
-    HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() }
+    HeapConfig {
+        heap_base: Addr::new(0x10_0000),
+        ..HeapConfig::default()
+    }
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Generational: minors sweep only the young generation. ---
     let mut gc = Collector::new(
         space()?,
-        GcConfig { heap: heap_config(), generational: true, ..GcConfig::default() },
+        GcConfig {
+            heap: heap_config(),
+            generational: true,
+            ..GcConfig::default()
+        },
     );
     let elder = gc.alloc(8, ObjectKind::Composite)?;
     gc.space_mut().write_u32(Addr::new(0x1_0000), elder.raw())?;
@@ -42,12 +54,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     gc.space_mut().write_u32(elder, child.raw())?;
     gc.record_write(elder); // card marked
     gc.collect_minor();
-    println!("write barrier kept the old->young child alive: {}", gc.is_live(child));
+    println!(
+        "write barrier kept the old->young child alive: {}",
+        gc.is_live(child)
+    );
 
     // --- Typed allocation: data words cannot misidentify. ---
     let mut gc = Collector::new(
         space()?,
-        GcConfig { heap: heap_config(), ..GcConfig::default() },
+        GcConfig {
+            heap: heap_config(),
+            ..GcConfig::default()
+        },
     );
     let desc = gc.register_descriptor(Descriptor::with_pointers_at(3, &[0]));
     let victim = gc.alloc(8, ObjectKind::Composite)?;
@@ -55,7 +73,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     gc.space_mut().write_u32(Addr::new(0x1_0000), rec.raw())?;
     gc.space_mut().write_u32(rec + 4, victim.raw())?; // a *data* word
     gc.collect();
-    println!("typed record live = {}, data-word 'pointee' live = {}", gc.is_live(rec), gc.is_live(victim));
+    println!(
+        "typed record live = {}, data-word 'pointee' live = {}",
+        gc.is_live(rec),
+        gc.is_live(victim)
+    );
 
     // --- Incremental: bounded pauses. ---
     let mut gc = Collector::new(
@@ -87,20 +109,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Disappearing links: weak slots zeroed when the target dies. ---
     let mut gc = Collector::new(
         space()?,
-        GcConfig { heap: heap_config(), ..GcConfig::default() },
+        GcConfig {
+            heap: heap_config(),
+            ..GcConfig::default()
+        },
     );
     // A weak cache: the slot lives in unscanned (atomic) memory, so it does
     // not keep the target alive.
     let cache_slot = gc.alloc(8, ObjectKind::Atomic)?;
-    gc.space_mut().write_u32(Addr::new(0x1_0000), cache_slot.raw())?;
+    gc.space_mut()
+        .write_u32(Addr::new(0x1_0000), cache_slot.raw())?;
     let value = gc.alloc(8, ObjectKind::Composite)?;
     gc.space_mut().write_u32(Addr::new(0x1_0004), value.raw())?; // strong ref
     gc.space_mut().write_u32(cache_slot, value.raw())?;
     gc.register_disappearing_link(cache_slot, value)?;
     gc.collect();
-    println!("weak cache slot while value lives: {:#010x}", gc.space().read_u32(cache_slot)?);
+    println!(
+        "weak cache slot while value lives: {:#010x}",
+        gc.space().read_u32(cache_slot)?
+    );
     gc.space_mut().write_u32(Addr::new(0x1_0004), 0)?; // drop the strong ref
     gc.collect();
-    println!("weak cache slot after value dies:  {:#010x}", gc.space().read_u32(cache_slot)?);
+    println!(
+        "weak cache slot after value dies:  {:#010x}",
+        gc.space().read_u32(cache_slot)?
+    );
+
+    // --- Observability: the event stream and the metrics snapshot. ---
+    let sink = observer(RingBufferSink::new(256));
+    let mut gc = Collector::new(
+        space()?,
+        GcConfig {
+            heap: heap_config(),
+            observer: Some(sink.clone()),
+            ..GcConfig::default()
+        },
+    );
+    let keep = gc.alloc(64, ObjectKind::Composite)?;
+    gc.space_mut().write_u32(Addr::new(0x1_0000), keep.raw())?;
+    let c = gc.collect();
+    println!(
+        "phase breakdown of GC#{}: roots {:?}, mark {:?}, finalize {:?}, sweep {:?}",
+        c.gc_no, c.phases.root_scan, c.phases.mark, c.phases.finalize, c.phases.sweep
+    );
+    for event in sink.lock().expect("uncontended").events() {
+        if matches!(
+            event,
+            GcEvent::CollectionBegin { .. } | GcEvent::CollectionEnd { .. }
+        ) {
+            println!("  event: {}", event.to_json());
+        }
+    }
+    println!(
+        "metrics snapshot: {} bytes of JSON",
+        gc.metrics_json().len()
+    );
     Ok(())
 }

@@ -11,12 +11,25 @@ use sec_gc::vmspace::{Addr, AddressSpace, Endian, SegmentKind, SegmentSpec};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut space = AddressSpace::new(Endian::Big);
-    space.map(SegmentSpec::new("config-table", SegmentKind::Data, Addr::new(0x1_0000), 1024))?;
-    space.map(SegmentSpec::new("io-state", SegmentKind::Data, Addr::new(0x2_0000), 1024))?;
+    space.map(SegmentSpec::new(
+        "config-table",
+        SegmentKind::Data,
+        Addr::new(0x1_0000),
+        1024,
+    ))?;
+    space.map(SegmentSpec::new(
+        "io-state",
+        SegmentKind::Data,
+        Addr::new(0x2_0000),
+        1024,
+    ))?;
     let mut gc = Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                ..HeapConfig::default()
+            },
             ..GcConfig::default()
         },
     );
@@ -43,7 +56,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Fix the leak and verify.
     gc.space_mut().write_u32(forgotten, 0)?;
     gc.collect();
-    println!("\nafter clearing the forgotten pointer: c live = {}", gc.is_live(c));
+    println!(
+        "\nafter clearing the forgotten pointer: c live = {}",
+        gc.is_live(c)
+    );
 
     // The GC_dump analogue: inspect the collector's state directly.
     println!("\n{}", gc.dump());

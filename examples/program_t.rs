@@ -9,8 +9,15 @@ use sec_gc::platforms::{BuildOptions, Platform, Profile};
 use sec_gc::workloads::ProgramT;
 
 fn main() {
-    let scale: u32 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-    let shape = if scale > 1 { ProgramT::paper().scaled(scale) } else { ProgramT::paper() };
+    let scale: u32 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
+    let shape = if scale > 1 {
+        ProgramT::paper().scaled(scale)
+    } else {
+        ProgramT::paper()
+    };
     println!(
         "Program T: {} circular lists x {} cells ({} KB per list), SPARC(static) image\n",
         shape.lists,
@@ -20,8 +27,11 @@ fn main() {
 
     for blacklisting in [false, true] {
         let profile = Profile::sparc_static(false);
-        let mut platform =
-            profile.build(BuildOptions { seed: 1, blacklisting, ..BuildOptions::default() });
+        let mut platform = profile.build(BuildOptions {
+            seed: 1,
+            blacklisting,
+            ..BuildOptions::default()
+        });
         let Platform { machine, hooks, .. } = &mut platform;
         let report = shape.run(machine, &mut |m| hooks.tick(m));
         println!(

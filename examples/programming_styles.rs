@@ -11,7 +11,12 @@ fn main() {
     println!("-- grids: one false reference into a 60x60 grid --\n");
     for style in [GridStyle::EmbeddedLinks, GridStyle::ConsCells] {
         let mut m = Profile::synthetic().build(BuildOptions::default()).machine;
-        let report = Grid { rows: 60, cols: 60, style }.run(&mut m, 1, 7);
+        let report = Grid {
+            rows: 60,
+            cols: 60,
+            style,
+        }
+        .run(&mut m, 1, 7);
         println!("  {report}");
     }
 

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut gc = Collector::new(
         space,
         GcConfig {
-            heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                ..HeapConfig::default()
+            },
             ..GcConfig::default()
         },
     );
@@ -55,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for _ in 0..50_000 {
         let obj = gc.alloc(64, ObjectKind::Composite)?;
-        assert_ne!(obj.page(), future.page(), "allocation avoided the blacklisted page");
+        assert_ne!(
+            obj.page(),
+            future.page(),
+            "allocation avoided the blacklisted page"
+        );
     }
     println!("allocated 50,000 objects; none landed on the blacklisted page");
 

@@ -15,12 +15,21 @@ use sec_gc::workloads::ProgramT;
 #[test]
 fn blacklisting_collapses_sparc_static_retention() {
     let profile = Profile::sparc_static(false);
-    let config = Table1Config { seeds: vec![11], scale: 8 };
+    let config = Table1Config {
+        seeds: vec![11],
+        scale: 8,
+    };
     let row = table1::run_row(&profile, &config);
     let without = row.no_blacklisting.hi();
     let with = row.blacklisting.hi();
-    assert!(without > 0.25, "polluted baseline retains substantially: {without}");
-    assert!(with < without / 4.0, "blacklisting collapses retention: {with} vs {without}");
+    assert!(
+        without > 0.25,
+        "polluted baseline retains substantially: {without}"
+    );
+    assert!(
+        with < without / 4.0,
+        "blacklisting collapses retention: {with} vs {without}"
+    );
 }
 
 /// The startup collection is what protects against static data: without
@@ -34,7 +43,12 @@ fn startup_collection_matters() {
     let run = |initial_collect: bool| -> u32 {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("junk", SegmentKind::Data, Addr::new(0x1_0000), 4096))
+            .map(SegmentSpec::new(
+                "junk",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
             .expect("maps");
         // Junk integers pointing at the first pages of the future heap.
         for i in 0..32u32 {
@@ -45,7 +59,10 @@ fn startup_collection_matters() {
         let mut gc = Collector::new(
             space,
             GcConfig {
-                heap: HeapConfig { heap_base: Addr::new(0x10_0000), ..HeapConfig::default() },
+                heap: HeapConfig {
+                    heap_base: Addr::new(0x10_0000),
+                    ..HeapConfig::default()
+                },
                 initial_collect,
                 min_bytes_between_gcs: u64::MAX,
                 ..GcConfig::default()
@@ -72,8 +89,11 @@ fn startup_collection_matters() {
 /// static junk pins *other* lists.
 #[test]
 fn finalization_is_exactly_once_under_pollution() {
-    let mut platform = Profile::sparc_static(false)
-        .build(BuildOptions { seed: 9, blacklisting: true, ..BuildOptions::default() });
+    let mut platform = Profile::sparc_static(false).build(BuildOptions {
+        seed: 9,
+        blacklisting: true,
+        ..BuildOptions::default()
+    });
     let m = &mut platform.machine;
     m.gc_mut().start();
     let root = m.alloc_static(1);
@@ -86,7 +106,10 @@ fn finalization_is_exactly_once_under_pollution() {
     m.collect();
     assert_eq!(m.gc_mut().drain_finalized(), vec![(obj, 7)]);
     m.collect();
-    assert!(m.gc_mut().drain_finalized().is_empty(), "never delivered twice");
+    assert!(
+        m.gc_mut().drain_finalized().is_empty(),
+        "never delivered twice"
+    );
 }
 
 /// The interior-pointer policy changes exactly what Table 1 measures:

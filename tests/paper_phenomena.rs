@@ -22,13 +22,21 @@ fn f34_grid_styles_differ_by_an_order_of_magnitude() {
     let mut cons_total = 0u64;
     for seed in 0..10 {
         let mut m = synthetic_machine();
-        embedded_total += Grid { rows: 24, cols: 24, style: GridStyle::EmbeddedLinks }
-            .run(&mut m, 1, seed)
-            .retained_objects;
+        embedded_total += Grid {
+            rows: 24,
+            cols: 24,
+            style: GridStyle::EmbeddedLinks,
+        }
+        .run(&mut m, 1, seed)
+        .retained_objects;
         let mut m = synthetic_machine();
-        cons_total += Grid { rows: 24, cols: 24, style: GridStyle::ConsCells }
-            .run(&mut m, 1, seed)
-            .retained_objects;
+        cons_total += Grid {
+            rows: 24,
+            cols: 24,
+            style: GridStyle::ConsCells,
+        }
+        .run(&mut m, 1, seed)
+        .retained_objects;
     }
     assert!(
         embedded_total > 4 * cons_total,
@@ -41,9 +49,14 @@ fn f34_grid_styles_differ_by_an_order_of_magnitude() {
 fn s4_queue_growth_is_controlled_by_link_clearing() {
     let run = |clear_links| {
         let mut m = synthetic_machine();
-        QueueRun { operations: 3000, window: 20, clear_links, false_ref_at: Some(50) }
-            .run(&mut m)
-            .final_live_objects
+        QueueRun {
+            operations: 3000,
+            window: 20,
+            clear_links,
+            false_ref_at: Some(50),
+        }
+        .run(&mut m)
+        .final_live_objects
     };
     let kept = run(false);
     let cleared = run(true);
@@ -56,9 +69,17 @@ fn s4_queue_growth_is_controlled_by_link_clearing() {
 #[test]
 fn s4_tree_retention_grows_logarithmically() {
     let mut m = synthetic_machine();
-    let small = TreeRun { height: 8, trials: 40 }.run(&mut m, 5);
+    let small = TreeRun {
+        height: 8,
+        trials: 40,
+    }
+    .run(&mut m, 5);
     let mut m = synthetic_machine();
-    let large = TreeRun { height: 12, trials: 40 }.run(&mut m, 5);
+    let large = TreeRun {
+        height: 12,
+        trials: 40,
+    }
+    .run(&mut m, 5);
     // 16x more nodes, but mean retention grows far slower than 16x.
     assert!(large.nodes == 16 * small.nodes + 15);
     assert!(
@@ -88,7 +109,10 @@ fn s31_reversal_peaks_order_correctly() {
                 ..GcConfig::default()
             },
             stack_bytes: 2 << 20,
-            frame: FramePolicy { pad_words: 8, clear_on_push: false },
+            frame: FramePolicy {
+                pad_words: 8,
+                clear_on_push: false,
+            },
             register_windows: 8,
             allocator_hygiene: false,
             collector_hygiene: false,
@@ -105,7 +129,10 @@ fn s31_reversal_peaks_order_correctly() {
     let shape = Reverse::paper(false).scaled(8);
     let dirty = shape.run(&mut machine(false)).max_apparent_cells;
     let clean = shape.run(&mut machine(true)).max_apparent_cells;
-    let optimized = Reverse::paper(true).scaled(8).run(&mut machine(false)).max_apparent_cells;
+    let optimized = Reverse::paper(true)
+        .scaled(8)
+        .run(&mut machine(false))
+        .max_apparent_cells;
     assert!(
         dirty > clean && clean >= optimized,
         "peaks must order dirty({dirty}) > cleared({clean}) >= optimized({optimized})"
@@ -131,7 +158,11 @@ fn o7_large_alloc_ordering() {
 #[test]
 fn c1_gc_footprint_exceeds_explicit() {
     let r = zorn::run(
-        &zorn::ZornRun { operations: 6_000, live_target: 600, ..zorn::ZornRun::default() },
+        &zorn::ZornRun {
+            operations: 6_000,
+            live_target: 600,
+            ..zorn::ZornRun::default()
+        },
         3,
     );
     assert!(r.gc_overhead_factor() > 1.0);
@@ -171,14 +202,26 @@ fn f1_alignment_controls_concatenation() {
     let run = |alignment| {
         let mut space = AddressSpace::new(Endian::Big);
         space
-            .map(SegmentSpec::new("globals", SegmentKind::Data, Addr::new(0x1_0000), 64))
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                64,
+            ))
             .expect("maps");
-        space.write_u32(Addr::new(0x1_0000), 0x0000_0009).expect("mapped");
-        space.write_u32(Addr::new(0x1_0004), 0x0000_000a).expect("mapped");
+        space
+            .write_u32(Addr::new(0x1_0000), 0x0000_0009)
+            .expect("mapped");
+        space
+            .write_u32(Addr::new(0x1_0004), 0x0000_000a)
+            .expect("mapped");
         let mut gc = Collector::new(
             space,
             GcConfig {
-                heap: HeapConfig { heap_base: Addr::new(0x0009_0000), ..HeapConfig::default() },
+                heap: HeapConfig {
+                    heap_base: Addr::new(0x0009_0000),
+                    ..HeapConfig::default()
+                },
                 scan_alignment: alignment,
                 // Expose the raw misidentification: with blacklisting on,
                 // the startup collection would blacklist 0x00090000 first.

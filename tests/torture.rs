@@ -78,12 +78,15 @@ fn machine(seed: u64, mode: Mode) -> Machine {
             free_space_divisor: 1 << 24,
             ..GcConfig::default()
         },
-        frame: FramePolicy { pad_words: 6, clear_on_push: false },
-        register_windows: if seed % 2 == 0 { 8 } else { 0 },
-        allocator_hygiene: seed % 3 == 0,
-        collector_hygiene: seed % 3 == 0,
+        frame: FramePolicy {
+            pad_words: 6,
+            clear_on_push: false,
+        },
+        register_windows: if seed.is_multiple_of(2) { 8 } else { 0 },
+        allocator_hygiene: seed.is_multiple_of(3),
+        collector_hygiene: seed.is_multiple_of(3),
         stack_clearing: StackClearing {
-            enabled: seed % 5 == 0,
+            enabled: seed.is_multiple_of(5),
             every_allocs: 16,
             max_bytes_per_clear: 8 << 10,
         },
@@ -113,7 +116,10 @@ fn torture(seed: u64, mode: Mode, steps: u32) {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut m = machine(seed, mode);
     let roots_base = m.alloc_static(ROOT_SLOTS);
-    let mut shadow = Shadow { roots: vec![0; ROOT_SLOTS as usize], ..Shadow::default() };
+    let mut shadow = Shadow {
+        roots: vec![0; ROOT_SLOTS as usize],
+        ..Shadow::default()
+    };
     let t1 = m.spawn_thread(64 << 10);
     let main = m.current_thread();
 
@@ -199,10 +205,13 @@ fn torture(seed: u64, mode: Mode, steps: u32) {
     }
     m.collect();
     m.collect();
-    let still: usize =
-        shadow.objects.keys().filter(|&&o| m.gc().is_live(Addr::new(o))).count();
+    let still: usize = shadow
+        .objects
+        .keys()
+        .filter(|&&o| m.gc().is_live(Addr::new(o)))
+        .count();
     let total = shadow.objects.len().max(1);
-    let hygienic = seed % 3 == 0;
+    let hygienic = seed.is_multiple_of(3);
     if hygienic {
         // A clean machine leaves no stale roots: (nearly) everything goes.
         assert!(
