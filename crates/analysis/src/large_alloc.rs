@@ -75,6 +75,7 @@ pub fn sweep(
             seed,
             blacklisting: true,
             pointer_policy: policy,
+            ..BuildOptions::default()
         });
         let m = &mut platform.machine;
         // Startup collection blacklists the static junk before placement.

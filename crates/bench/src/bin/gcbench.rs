@@ -2,17 +2,68 @@
 //! the paper describes — run under all three collector modes as a
 //! whole-system throughput check.
 //!
+//! With `--mark-threads <n>` (n > 1), additionally runs the stop-world
+//! configuration twice — serial and parallel marking — and reports the
+//! mark-phase wall-clock of each plus the speedup. The two runs must agree
+//! exactly on `objects_marked` (the parallel marker is equivalent to the
+//! serial one by construction); a mismatch makes the process exit nonzero,
+//! which is what the CI smoke test keys on.
+//!
 //! With `--json <path>`, also writes a machine-readable report combining
 //! the result rows with each mode's full collector metrics snapshot.
 
 use gc_analysis::TextTable;
-use gc_bench::{json_array, json_object, json_str, JsonOut};
-use gc_platforms::{BuildOptions, Profile};
+use gc_bench::{json_array, json_object, json_str, take_mark_threads, JsonOut};
+use gc_core::{observer, GcEvent, GcObserver};
+use gc_platforms::{BuildOptions, Platform, Profile};
 use gc_workloads::GcBench;
+use std::time::Duration;
+
+/// Sums the mark-phase time and marked-object total over every collection
+/// a run performs (the per-run `GcStats` only retains the last collection).
+#[derive(Clone, Copy, Debug, Default)]
+struct MarkTotals {
+    mark_time: Duration,
+    objects_marked: u64,
+    collections: u64,
+}
+
+impl GcObserver for MarkTotals {
+    fn on_event(&mut self, event: &GcEvent) {
+        if let GcEvent::CollectionEnd {
+            phases,
+            objects_marked,
+            ..
+        } = event
+        {
+            self.mark_time += phases.mark;
+            self.objects_marked += objects_marked;
+            self.collections += 1;
+        }
+    }
+}
+
+fn build(
+    mark_threads: u32,
+    with_totals: bool,
+) -> (Platform, std::sync::Arc<std::sync::Mutex<MarkTotals>>) {
+    let totals = observer(MarkTotals::default());
+    let handle = totals.clone();
+    let mut profile = Profile::synthetic();
+    profile.max_heap_bytes = 512 << 20;
+    let platform = profile.build_custom(BuildOptions::default(), |gc| {
+        gc.mark_threads = mark_threads;
+        if with_totals {
+            gc.observer = Some(handle);
+        }
+    });
+    (platform, totals)
+}
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let json_out = JsonOut::from_args(&mut args);
+    let mark_threads = take_mark_threads(&mut args);
     let classic = args.first().map(String::as_str) == Some("classic");
     let shape = if classic {
         GcBench::classic()
@@ -36,16 +87,19 @@ fn main() {
     for mode in ["stop-world", "generational", "incremental"] {
         let mut profile = Profile::synthetic();
         profile.max_heap_bytes = 512 << 20;
-        let mut platform = profile.build_custom(BuildOptions::default(), |gc| match mode {
-            "generational" => {
-                gc.generational = true;
-                gc.full_gc_every = 6;
+        let mut platform = profile.build_custom(BuildOptions::default(), |gc| {
+            gc.mark_threads = mark_threads;
+            match mode {
+                "generational" => {
+                    gc.generational = true;
+                    gc.full_gc_every = 6;
+                }
+                "incremental" => {
+                    gc.incremental = true;
+                    gc.incremental_budget = 2048;
+                }
+                _ => {}
             }
-            "incremental" => {
-                gc.incremental = true;
-                gc.incremental_budget = 2048;
-            }
-            _ => {}
         });
         let r = shape.run(&mut platform.machine);
         table.row(vec![
@@ -65,14 +119,107 @@ fn main() {
         }
     }
     println!("{table}");
+
+    // Serial-vs-parallel differential run: same workload, stop-world mode,
+    // marking with 1 thread and with `mark_threads`.
+    let mut parallel_report = "null".to_string();
+    let mut marks_agree = true;
+    if mark_threads > 1 {
+        // Three alternating pairs, scored by each configuration's *best*
+        // total mark time: preemption and cache pressure only ever add
+        // time, so the minimum over repeats is the robust estimate of the
+        // true cost on a shared machine. The workload is deterministic, so
+        // every repeat must mark the identical object count.
+        let mut serial = MarkTotals::default();
+        let mut par = MarkTotals::default();
+        serial.mark_time = Duration::MAX;
+        par.mark_time = Duration::MAX;
+        let mut last_par_platform = None;
+        for (i, threads) in [1, mark_threads, 1, mark_threads, 1, mark_threads]
+            .into_iter()
+            .enumerate()
+        {
+            let (mut platform, totals) = build(threads, true);
+            shape.run(&mut platform.machine);
+            let t = *totals.lock().expect("mark totals");
+            let acc = if threads == 1 { &mut serial } else { &mut par };
+            acc.mark_time = acc.mark_time.min(t.mark_time);
+            if i < 2 {
+                acc.objects_marked = t.objects_marked;
+                acc.collections = t.collections;
+            } else {
+                assert_eq!(
+                    acc.objects_marked, t.objects_marked,
+                    "repeats of the same deterministic workload mark the same objects"
+                );
+            }
+            if threads != 1 {
+                last_par_platform = Some(platform);
+            }
+        }
+        let par_platform = last_par_platform.expect("parallel run happened");
+
+        let speedup = serial.mark_time.as_secs_f64() / par.mark_time.as_secs_f64().max(1e-9);
+        let mut cmp = TextTable::new(vec![
+            "Mark phase".into(),
+            "Threads".into(),
+            "Best mark time".into(),
+            "GCs".into(),
+            "Objects marked".into(),
+        ]);
+        cmp.row(vec![
+            "serial".into(),
+            "1".into(),
+            format!("{:?}", serial.mark_time),
+            serial.collections.to_string(),
+            serial.objects_marked.to_string(),
+        ]);
+        cmp.row(vec![
+            "parallel".into(),
+            mark_threads.to_string(),
+            format!("{:?}", par.mark_time),
+            par.collections.to_string(),
+            par.objects_marked.to_string(),
+        ]);
+        println!("{cmp}");
+        println!("mark-phase speedup: {speedup:.2}x");
+        marks_agree = serial.objects_marked == par.objects_marked;
+        if !marks_agree {
+            eprintln!(
+                "ERROR: parallel mark diverged from serial: {} objects marked vs {}",
+                par.objects_marked, serial.objects_marked
+            );
+        } else {
+            println!(
+                "parallel mark matches serial: {} objects marked over {} GCs",
+                par.objects_marked, par.collections
+            );
+        }
+        parallel_report = json_object(&[
+            ("mark_threads", mark_threads.to_string()),
+            ("serial_mark_ns", serial.mark_time.as_nanos().to_string()),
+            ("parallel_mark_ns", par.mark_time.as_nanos().to_string()),
+            ("speedup", format!("{speedup:.4}")),
+            ("serial_objects_marked", serial.objects_marked.to_string()),
+            ("parallel_objects_marked", par.objects_marked.to_string()),
+            ("marks_agree", marks_agree.to_string()),
+            ("parallel_metrics", par_platform.machine.gc().metrics_json()),
+        ]);
+    }
+
     let document = json_object(&[
         ("benchmark", json_str("gcbench")),
         (
             "variant",
             json_str(if classic { "classic" } else { "scaled" }),
         ),
+        ("mark_threads", mark_threads.to_string()),
         ("results", table.to_json()),
         ("modes", json_array(&mode_reports)),
+        ("parallel_mark", parallel_report),
     ]);
     json_out.write(&document).expect("write JSON report");
+    if !marks_agree {
+        std::process::exit(1);
+    }
 }

@@ -76,6 +76,50 @@ impl JsonOut {
     }
 }
 
+/// Extracts `--<flag> <value>` (or `--<flag>=<value>`) from `args`,
+/// removing the consumed elements; returns the last occurrence's value.
+///
+/// # Panics
+///
+/// Panics when the flag is present without a value.
+pub fn take_option(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let prefix = format!("{flag}=");
+    let mut value = None;
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == flag {
+            assert!(i + 1 < args.len(), "{flag} requires a value argument");
+            args.remove(i);
+            value = Some(args.remove(i));
+        } else if let Some(v) = args[i].strip_prefix(&prefix) {
+            value = Some(v.to_string());
+            args.remove(i);
+        } else {
+            i += 1;
+        }
+    }
+    value
+}
+
+/// Parses the `--mark-threads <n>` option shared by the benchmark
+/// binaries; absent means 1 (serial marking).
+///
+/// # Panics
+///
+/// Panics when the value is not a positive integer.
+pub fn take_mark_threads(args: &mut Vec<String>) -> u32 {
+    match take_option(args, "--mark-threads") {
+        None => 1,
+        Some(v) => {
+            let n: u32 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("--mark-threads needs a number, got {v:?}"));
+            assert!(n >= 1, "--mark-threads must be at least 1");
+            n
+        }
+    }
+}
+
 /// Builds a JSON object from `(key, value)` pairs whose values are already
 /// rendered JSON (use [`json_str`] for string values).
 pub fn json_object(fields: &[(&str, String)]) -> String {
@@ -124,6 +168,27 @@ mod tests {
     #[should_panic(expected = "--json requires a path")]
     fn json_flag_requires_path() {
         JsonOut::from_args(&mut args(&["--json"]));
+    }
+
+    #[test]
+    fn take_option_strips_both_spellings() {
+        let mut a = args(&["4", "--mark-threads", "8", "7"]);
+        assert_eq!(take_option(&mut a, "--mark-threads"), Some("8".into()));
+        assert_eq!(a, args(&["4", "7"]));
+
+        let mut a = args(&["--mark-threads=2"]);
+        assert_eq!(take_mark_threads(&mut a), 2);
+        assert!(a.is_empty());
+
+        let mut a = args(&["classic"]);
+        assert_eq!(take_mark_threads(&mut a), 1);
+        assert_eq!(a, args(&["classic"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs a number")]
+    fn mark_threads_rejects_garbage() {
+        take_mark_threads(&mut args(&["--mark-threads", "lots"]));
     }
 
     #[test]

@@ -2,9 +2,10 @@
 
 use crate::{
     mark::{MarkOutcome, Marker},
+    par_mark,
     telemetry::{self, GcEvent, PhaseTimes},
     Blacklist, CollectKind, CollectReason, CollectionStats, Finalizers, GcConfig, GcError, GcStats,
-    Retainer,
+    MarkWorkerStats, ParallelMarkStats, Retainer, RootClass, MAX_MARK_THREADS,
 };
 use gc_heap::{Descriptor, DescriptorId, Heap, HeapError, ObjRef, ObjectKind, PageUse};
 use gc_vmspace::{Addr, AddressSpace, PageIdx, PAGE_BYTES};
@@ -416,7 +417,7 @@ impl Collector {
                 marker.set_stack(std::mem::take(&mut state.stack));
                 let done = marker.drain_budget(self.config.incremental_budget);
                 state.stack = marker.take_stack();
-                accumulate(&mut state.out, marker.out);
+                state.out.merge(marker.out);
                 state.phases.mark += t0.elapsed();
                 (done, state.gc_no)
             }
@@ -483,7 +484,7 @@ impl Collector {
             }
             phases.finalize = t_phase.elapsed();
             finalizers_ready = doomed.len() as u32;
-            accumulate(&mut acc, marker.out);
+            acc.merge(marker.out);
         }
         let t_phase = Instant::now();
         self.clear_dead_links(false);
@@ -518,6 +519,7 @@ impl Collector {
             finalizers_ready,
             sweep,
             phases,
+            parallel_mark: None,
             duration: started.elapsed(),
         };
         self.stats.record(c);
@@ -542,7 +544,24 @@ impl Collector {
         self.heap.clear_marks();
 
         let mut phases = PhaseTimes::default();
-        let (out, finalizers_ready) = {
+        let requested = self.config.mark_threads.clamp(1, MAX_MARK_THREADS);
+        // Never oversubscribe the machine: a stop-world mark is pure CPU,
+        // so workers beyond the available cores only time-slice against
+        // each other and turn every steal into a context switch. On a
+        // single-core host a requested parallel mark therefore runs the
+        // serial drain (no thread spawned, no sharing overhead) and
+        // reports it as one parallel worker, keeping stats and events
+        // shaped the same across machines.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let threads = if self.config.mark_threads_force {
+            requested
+        } else {
+            requested.min(cores as u32)
+        };
+        let mut parallel_mark = None;
+        let mut single_worker = None;
+        let mut acc;
+        {
             let mut marker = Marker::new(
                 &self.space,
                 &mut self.heap,
@@ -553,23 +572,106 @@ impl Collector {
                 marker = marker.minor();
             }
             // Root-scan phase: conservative scan of every root segment;
-            // found objects stay on the mark stack.
+            // found objects stay on the mark stack. Always serial — roots
+            // carry provenance (which segment class blacklists a page), so
+            // they are scanned before workers fan out.
             let t_phase = Instant::now();
             marker.run_roots_only();
             phases.root_scan = t_phase.elapsed();
             // Mark phase: transitive tracing, plus the generational
             // remembered set (old objects on dirty pages).
             let t_phase = Instant::now();
-            marker.drain_all();
-            if minor {
-                let dirty: Vec<PageIdx> = self.cards.iter().map(|&p| PageIdx::new(p)).collect();
-                marker.scan_dirty_old(dirty);
+            if threads > 1 {
+                // Seed the drain with everything the serial scans found:
+                // root-reachable objects, and in minor mode the old objects
+                // on dirty pages (scanned but not drained).
+                if minor {
+                    let dirty: Vec<PageIdx> = self.cards.iter().map(|&p| PageIdx::new(p)).collect();
+                    marker.scan_dirty_old_seed(dirty);
+                }
+                let seeds = marker.take_stack();
+                let vicinity = marker.vicinity();
+                acc = marker.out;
+                drop(marker);
+                let par = par_mark::par_drain(
+                    &self.space,
+                    &self.heap,
+                    &self.config,
+                    vicinity,
+                    minor,
+                    seeds,
+                    threads as usize,
+                );
+                acc.merge(par.out);
+                // Merge the workers' blacklist candidates in page order:
+                // deterministic regardless of how work was scheduled.
+                for &(page, count) in &par.false_pages {
+                    self.blacklist
+                        .note_false_refs(PageIdx::new(page), RootClass::Heap, count);
+                }
+                for (i, w) in par.workers.iter().enumerate() {
+                    self.emit(|| GcEvent::MarkWorker {
+                        gc_no,
+                        worker: i as u32,
+                        objects_marked: w.objects_marked,
+                        bytes_marked: w.bytes_marked,
+                        stolen: w.stolen,
+                        duration: w.duration,
+                    });
+                }
+                parallel_mark = Some(ParallelMarkStats::new(&par.workers));
+            } else {
+                // Serial drain — either marking is configured serial, or a
+                // parallel mark was requested on a single-core machine,
+                // where the cheapest correct "parallel" drain *is* the
+                // serial one. In the latter case the drain is still
+                // reported as one parallel worker so telemetry keeps its
+                // shape across machines.
+                let before = marker.out;
+                let t_drain = Instant::now();
+                marker.drain_all();
+                if minor {
+                    let dirty: Vec<PageIdx> = self.cards.iter().map(|&p| PageIdx::new(p)).collect();
+                    marker.scan_dirty_old(dirty);
+                }
+                acc = marker.out;
+                if requested > 1 {
+                    single_worker = Some(MarkWorkerStats {
+                        objects_marked: acc.objects_marked - before.objects_marked,
+                        bytes_marked: acc.bytes_marked - before.bytes_marked,
+                        stolen: 0,
+                        duration: t_drain.elapsed(),
+                    });
+                }
             }
             phases.mark = t_phase.elapsed();
-            // Finalize phase: unreachable registered objects are queued and
-            // resurrected for one more cycle. A minor collection treats the
-            // whole old generation as live.
+        }
+        if let Some(w) = single_worker {
+            self.emit(|| GcEvent::MarkWorker {
+                gc_no,
+                worker: 0,
+                objects_marked: w.objects_marked,
+                bytes_marked: w.bytes_marked,
+                stolen: w.stolen,
+                duration: w.duration,
+            });
+            parallel_mark = Some(ParallelMarkStats::new(&[w]));
+        }
+        // Finalize phase: unreachable registered objects are queued and
+        // resurrected for one more cycle. A minor collection treats the
+        // whole old generation as live. Resurrection marking is serial (a
+        // fresh marker; its counters merge into the cycle's totals).
+        let finalizers_ready = {
             let t_phase = Instant::now();
+            let mut marker = Marker::new(
+                &self.space,
+                &mut self.heap,
+                &mut self.blacklist,
+                &self.config,
+            );
+            if minor {
+                marker = marker.minor();
+            }
             let doomed = {
                 let heap = marker.heap();
                 self.finalizers.collect_unreachable(|addr| {
@@ -582,9 +684,11 @@ impl Collector {
                     marker.mark_object(obj);
                 }
             }
+            acc.merge(marker.out);
             phases.finalize = t_phase.elapsed();
-            (marker.out, doomed.len() as u32)
+            doomed.len() as u32
         };
+        let out = acc;
 
         let t_phase = Instant::now();
         self.clear_dead_links(minor);
@@ -621,6 +725,7 @@ impl Collector {
             finalizers_ready,
             sweep,
             phases,
+            parallel_mark,
             duration: t0.elapsed(),
         };
         self.stats.record(c);
@@ -862,16 +967,6 @@ impl Collector {
     pub fn gc_count(&self) -> u64 {
         self.stats.collections
     }
-}
-
-fn accumulate(into: &mut MarkOutcome, from: MarkOutcome) {
-    into.root_words += from.root_words;
-    into.heap_words += from.heap_words;
-    into.candidates_in_range += from.candidates_in_range;
-    into.valid_pointers += from.valid_pointers;
-    into.false_refs_near_heap += from.false_refs_near_heap;
-    into.objects_marked += from.objects_marked;
-    into.bytes_marked += from.bytes_marked;
 }
 
 /// The paper's allocate-around-the-blacklist rules.

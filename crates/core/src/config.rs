@@ -95,6 +95,10 @@ pub enum BlacklistKind {
     },
 }
 
+/// Ceiling on [`GcConfig::mark_threads`]: per-worker statistics are kept in
+/// fixed-size (`Copy`) arrays inside [`CollectionStats`](crate::CollectionStats).
+pub const MAX_MARK_THREADS: u32 = 16;
+
 /// Full collector configuration.
 ///
 /// The defaults correspond to the paper's evaluated collector: blacklisting
@@ -160,6 +164,23 @@ pub struct GcConfig {
     pub incremental: bool,
     /// Objects traced per increment in incremental mode.
     pub incremental_budget: u32,
+    /// Mark-phase worker threads for stop-the-world (full and minor)
+    /// collections. `1` (the default) is the existing serial marker;
+    /// `2..=`[`MAX_MARK_THREADS`] runs a work-stealing parallel drain that
+    /// is bit-identical to serial marking — same mark set, counters,
+    /// blacklist contents and dump output. Values are clamped into
+    /// `1..=MAX_MARK_THREADS`. Incremental tracing increments are always
+    /// serial (they are budgeted mutator pauses, not a throughput phase).
+    /// The default honours the `GC_MARK_THREADS` environment variable so a
+    /// whole test run can be switched to parallel marking externally.
+    pub mark_threads: u32,
+    /// Spawn exactly [`mark_threads`](GcConfig::mark_threads) workers even
+    /// when that exceeds the machine's available cores. Normally the
+    /// collector clamps the worker count to the cores present (an
+    /// oversubscribed stop-world mark only adds context switches); tests
+    /// force the full count so multi-worker racing is exercised on any
+    /// host.
+    pub mark_threads_force: bool,
     /// Telemetry sink receiving the collector's [`GcEvent`](crate::GcEvent)
     /// stream (collections, allocation slow paths, heap and blacklist
     /// growth, incremental pauses). `None` disables event delivery; wrap a
@@ -187,9 +208,21 @@ impl Default for GcConfig {
             full_gc_every: 8,
             incremental: false,
             incremental_budget: 512,
+            mark_threads: mark_threads_from_env(),
+            mark_threads_force: false,
             observer: None,
         }
     }
+}
+
+/// The `GC_MARK_THREADS` default: lets CI run the whole suite with
+/// parallel marking without touching any call site. Unset, empty or
+/// unparsable values mean serial.
+fn mark_threads_from_env() -> u32 {
+    std::env::var("GC_MARK_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u32>().ok())
+        .map_or(1, |n| n.clamp(1, MAX_MARK_THREADS))
 }
 
 impl GcConfig {

@@ -36,6 +36,20 @@ pub(crate) struct MarkOutcome {
     pub bytes_marked: u64,
 }
 
+impl MarkOutcome {
+    /// Adds another outcome's counters into this one (accumulating across
+    /// marker instances, increments, or parallel workers).
+    pub(crate) fn merge(&mut self, other: MarkOutcome) {
+        self.root_words += other.root_words;
+        self.heap_words += other.heap_words;
+        self.candidates_in_range += other.candidates_in_range;
+        self.valid_pointers += other.valid_pointers;
+        self.false_refs_near_heap += other.false_refs_near_heap;
+        self.objects_marked += other.objects_marked;
+        self.bytes_marked += other.bytes_marked;
+    }
+}
+
 /// One mark phase over a frozen address space.
 pub(crate) struct Marker<'a> {
     space: &'a AddressSpace,
@@ -86,10 +100,29 @@ impl<'a> Marker<'a> {
         self
     }
 
+    /// The heap-vicinity bounds `[lo, hi)` this marker blacklists within,
+    /// for handing to a parallel drain over the same frozen heap.
+    pub(crate) fn vicinity(&self) -> (u64, u64) {
+        (self.vic_lo, self.vic_hi)
+    }
+
     /// Scans the fields of every old composite object on the given dirty
     /// pages — the generational remembered set.
     pub(crate) fn scan_dirty_old(&mut self, pages: impl IntoIterator<Item = gc_vmspace::PageIdx>) {
-        self.scan_pages(pages, true)
+        self.scan_pages_impl(pages, true, true)
+    }
+
+    /// As [`scan_dirty_old`](Marker::scan_dirty_old), but leaves the found
+    /// objects on the mark stack instead of draining: the seeding step
+    /// before a parallel drain takes over. The drained and seeded forms
+    /// reach the same fixed point — dirty-old pages are enumerated
+    /// identically and every counter totals per *object scan*, of which
+    /// each happens exactly once either way.
+    pub(crate) fn scan_dirty_old_seed(
+        &mut self,
+        pages: impl IntoIterator<Item = gc_vmspace::PageIdx>,
+    ) {
+        self.scan_pages_impl(pages, true, false)
     }
 
     /// Scans the fields of composite objects on the given pages; with
@@ -100,6 +133,15 @@ impl<'a> Marker<'a> {
         &mut self,
         pages: impl IntoIterator<Item = gc_vmspace::PageIdx>,
         only_old: bool,
+    ) {
+        self.scan_pages_impl(pages, only_old, true)
+    }
+
+    fn scan_pages_impl(
+        &mut self,
+        pages: impl IntoIterator<Item = gc_vmspace::PageIdx>,
+        only_old: bool,
+        drain: bool,
     ) {
         let space = self.space;
         for page in pages {
@@ -121,7 +163,9 @@ impl<'a> Marker<'a> {
                     self.consider(value, RootClass::Heap);
                 }
             }
-            self.drain();
+            if drain {
+                self.drain();
+            }
         }
     }
 

@@ -33,7 +33,10 @@ use std::time::Duration;
 
 /// Schema version of [`Collector::metrics_json`](crate::Collector::metrics_json)
 /// and of [`JsonLinesSink`] event records.
-pub const METRICS_SCHEMA_VERSION: u32 = 1;
+///
+/// Version 2 added parallel-mark telemetry: the `mark_worker` event, the
+/// `mark_threads` config field, and `last_collection.parallel_mark`.
+pub const METRICS_SCHEMA_VERSION: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Phase timings
@@ -156,6 +159,22 @@ pub enum GcEvent {
         /// Number of newly queued finalizable objects.
         count: u32,
     },
+    /// One worker's share of a parallel mark phase (`mark_threads > 1`).
+    /// Emitted once per worker, in worker order, after the drain's barrier.
+    MarkWorker {
+        /// Collection whose mark phase the worker served.
+        gc_no: u64,
+        /// Worker index, `0..mark_threads`.
+        worker: u32,
+        /// Objects this worker won the race to mark.
+        objects_marked: u64,
+        /// Bytes of those objects.
+        bytes_marked: u64,
+        /// Work items stolen from other workers' deques.
+        stolen: u64,
+        /// Wall-clock time the worker spent draining.
+        duration: Duration,
+    },
 }
 
 impl GcEvent {
@@ -170,6 +189,7 @@ impl GcEvent {
             GcEvent::StackClear { .. } => "stack_clear",
             GcEvent::IncrementalPause { .. } => "incremental_pause",
             GcEvent::FinalizersReady { .. } => "finalizers_ready",
+            GcEvent::MarkWorker { .. } => "mark_worker",
         }
     }
 
@@ -234,6 +254,19 @@ impl GcEvent {
             }
             GcEvent::FinalizersReady { gc_no, count } => {
                 fields.push_str(&format!(",\"gc_no\":{gc_no},\"count\":{count}"));
+            }
+            GcEvent::MarkWorker {
+                gc_no,
+                worker,
+                objects_marked,
+                bytes_marked,
+                stolen,
+                duration,
+            } => {
+                fields.push_str(&format!(
+                    ",\"gc_no\":{gc_no},\"worker\":{worker},\"objects_marked\":{objects_marked},\"bytes_marked\":{bytes_marked},\"stolen\":{stolen},\"duration_ns\":{}",
+                    duration.as_nanos()
+                ));
             }
         }
         format!("{{\"v\":{METRICS_SCHEMA_VERSION},{fields}}}")
@@ -622,6 +655,33 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders the parallel-mark breakdown of a collection, or `null` for
+/// serial marking.
+fn parallel_mark_json(p: Option<&crate::ParallelMarkStats>) -> String {
+    let Some(p) = p else {
+        return "null".to_string();
+    };
+    let workers: Vec<String> = p
+        .worker_stats()
+        .iter()
+        .map(|w| {
+            format!(
+                "{{\"objects_marked\":{},\"bytes_marked\":{},\"stolen\":{},\"duration_ns\":{}}}",
+                w.objects_marked,
+                w.bytes_marked,
+                w.stolen,
+                w.duration.as_nanos(),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"workers\":{},\"total_stolen\":{},\"worker_stats\":[{}]}}",
+        p.workers(),
+        p.total_stolen(),
+        workers.join(","),
+    )
+}
+
 /// Builds the versioned JSON metrics snapshot for
 /// [`Collector::metrics_json`](crate::Collector::metrics_json).
 pub(crate) fn metrics_json(gc: &Collector) -> String {
@@ -642,11 +702,12 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
         stats.max_increment_pause.as_nanos(),
     );
 
-    // The most recent collection in full, including its phase breakdown.
+    // The most recent collection in full, including its phase breakdown
+    // and (when the mark phase ran in parallel) the per-worker split.
     let last = match &stats.last {
         None => "null".to_string(),
         Some(c) => format!(
-            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{}}}",
+            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{},\"parallel_mark\":{}}}",
             c.gc_no,
             c.kind,
             c.reason,
@@ -663,6 +724,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
             c.finalizers_ready,
             c.sweep.objects_freed,
             c.sweep.bytes_freed,
+            parallel_mark_json(c.parallel_mark.as_ref()),
         ),
     };
 
@@ -710,11 +772,12 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     );
 
     let config_summary = format!(
-        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{}}}",
+        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{}}}",
         config.pointer_policy,
         config.scan_alignment,
         config.generational,
         config.incremental,
+        config.mark_threads,
     );
 
     format!(

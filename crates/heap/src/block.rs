@@ -6,7 +6,7 @@
 //! the analogue of bdwgc's separate header map — so the simulated heap bytes
 //! are exactly what the mutator wrote.
 
-use crate::{Bitmap, SizeClass, GRANULE_BYTES};
+use crate::{AtomicBitmap, Bitmap, SizeClass, GRANULE_BYTES};
 use gc_vmspace::{Addr, PAGE_BYTES};
 use std::fmt;
 
@@ -76,7 +76,10 @@ pub struct Block {
     pub(crate) shape: BlockShape,
     pub(crate) kind: ObjectKind,
     pub(crate) allocated: Bitmap,
-    pub(crate) marked: Bitmap,
+    /// Mark bits. Atomic so parallel mark workers can test-and-set through
+    /// `&Heap`; all serial paths use the `&mut` accessors, which compile to
+    /// plain loads and stores.
+    pub(crate) marked: AtomicBitmap,
     /// Generation bits for the sticky-mark-bit generational mode (one per
     /// slot): objects that survived a collection are *old*; minor
     /// collections treat them as immortal roots and sweep only the young.
@@ -93,7 +96,7 @@ impl Block {
             shape: BlockShape::Small { class },
             kind,
             allocated: Bitmap::new(n),
-            marked: Bitmap::new(n),
+            marked: AtomicBitmap::new(n),
             old: Bitmap::new(n),
         }
     }
@@ -107,7 +110,7 @@ impl Block {
             shape: BlockShape::Large { obj_bytes },
             kind,
             allocated: Bitmap::new(1),
-            marked: Bitmap::new(1),
+            marked: AtomicBitmap::new(1),
             old: Bitmap::new(1),
         }
     }

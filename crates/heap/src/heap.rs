@@ -676,6 +676,40 @@ impl Heap {
         }
     }
 
+    /// Atomically sets the mark bit of an object through a shared reference.
+    /// Returns `true` iff this caller newly set it — across racing parallel
+    /// mark workers, exactly one receives `true` per object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` does not refer to a live block (an `ObjRef` is only
+    /// obtainable for live objects, and the heap is frozen during marking).
+    pub fn set_marked_shared(&self, obj: ObjRef) -> bool {
+        self.block(obj.block)
+            .expect("marking a live object")
+            .marked
+            .set_atomic(obj.index)
+    }
+
+    /// Sets the mark bit of an object through a shared reference without
+    /// an atomic read-modify-write. Returns `true` iff the bit was clear.
+    ///
+    /// Only equivalent to [`set_marked_shared`](Self::set_marked_shared)
+    /// while a single thread is marking — the mark drain uses it when it
+    /// runs with one worker, where the locked `fetch_or` would be pure
+    /// overhead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` does not refer to a live block (an `ObjRef` is only
+    /// obtainable for live objects, and the heap is frozen during marking).
+    pub fn set_marked_single(&self, obj: ObjRef) -> bool {
+        self.block(obj.block)
+            .expect("marking a live object")
+            .marked
+            .set_relaxed(obj.index)
+    }
+
     /// Clears every mark bit (start of a collection).
     pub fn clear_marks(&mut self) {
         for block in self.blocks.iter_mut().flatten() {
@@ -1123,6 +1157,30 @@ mod tests {
         assert_eq!(stats.objects_live, 1);
         assert!(heap.object_containing(a).is_some());
         assert!(heap.object_containing(b).is_none(), "b was reclaimed");
+    }
+
+    #[test]
+    fn heap_is_sync() {
+        // Parallel mark workers share `&Heap` across scoped threads.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<Heap>();
+    }
+
+    #[test]
+    fn shared_marking_agrees_with_exclusive() {
+        let (mut space, mut heap) = setup();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        heap.clear_marks();
+        let obj = heap.object_containing(a).unwrap();
+        assert!(heap.set_marked_shared(obj), "first shared mark wins");
+        assert!(!heap.set_marked_shared(obj), "already marked");
+        assert!(!heap.set_marked_single(obj), "single-worker path agrees");
+        assert!(!heap.set_marked(obj), "exclusive path sees the shared mark");
+        assert!(heap.is_marked(obj));
+        let stats = heap.sweep();
+        assert_eq!(stats.objects_live, 1);
     }
 
     #[test]

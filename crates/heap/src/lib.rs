@@ -44,7 +44,7 @@ mod freelist;
 mod heap;
 mod sizeclass;
 
-pub use bitmap::Bitmap;
+pub use bitmap::{AtomicBitmap, Bitmap};
 pub use block::{Block, BlockId, BlockShape, ObjRef, ObjectKind};
 pub use error::HeapError;
 pub use explicit::ExplicitHeap;

@@ -174,6 +174,9 @@ impl Profile {
             pointer_policy: opts.pointer_policy,
             ..GcConfig::default()
         };
+        if let Some(threads) = opts.mark_threads {
+            gc.mark_threads = threads;
+        }
         tweak(&mut gc);
         let config = MachineConfig {
             endian: self.endian,

@@ -56,6 +56,9 @@ pub struct BuildOptions {
     /// Interior-pointer policy (Table 1 uses the default,
     /// [`PointerPolicy::AllInterior`](gc_core::PointerPolicy)).
     pub pointer_policy: gc_core::PointerPolicy,
+    /// Mark-phase worker threads; `None` inherits the collector default
+    /// (1, or the `GC_MARK_THREADS` environment override).
+    pub mark_threads: Option<u32>,
 }
 
 impl Default for BuildOptions {
@@ -64,6 +67,7 @@ impl Default for BuildOptions {
             seed: 1,
             blacklisting: true,
             pointer_policy: gc_core::PointerPolicy::AllInterior,
+            mark_threads: None,
         }
     }
 }

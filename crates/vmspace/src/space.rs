@@ -1,7 +1,10 @@
 //! The simulated address space: a collection of mapped segments.
 
 use crate::{Addr, Endian, Segment, SegmentId, SegmentSpec, VmError};
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Sentinel for "no cached segment" in the lookup cache.
+const NO_CACHE: u32 = u32::MAX;
 
 /// A simulated 32-bit, byte-addressed address space.
 ///
@@ -27,15 +30,28 @@ use std::cell::Cell;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct AddressSpace {
     endian: Endian,
     slots: Vec<Option<Segment>>,
     /// Live segments sorted by base address.
     order: Vec<(Addr, SegmentId)>,
     /// One-entry lookup cache: conservative scans touch long runs of
-    /// addresses within one segment, so this hits almost always.
-    cache: Cell<Option<SegmentId>>,
+    /// addresses within one segment, so this hits almost always. Atomic
+    /// (relaxed; `NO_CACHE` = empty) so shared `&AddressSpace` scans from
+    /// parallel mark workers stay legal — the cache is only ever a hint.
+    cache: AtomicU32,
+}
+
+impl Clone for AddressSpace {
+    fn clone(&self) -> Self {
+        AddressSpace {
+            endian: self.endian,
+            slots: self.slots.clone(),
+            order: self.order.clone(),
+            cache: AtomicU32::new(self.cache.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl AddressSpace {
@@ -45,7 +61,7 @@ impl AddressSpace {
             endian,
             slots: Vec::new(),
             order: Vec::new(),
-            cache: Cell::new(None),
+            cache: AtomicU32::new(NO_CACHE),
         }
     }
 
@@ -157,7 +173,7 @@ impl AddressSpace {
             .expect("live segment present in order index");
         self.order.remove(pos);
         let _ = seg;
-        self.cache.set(None);
+        self.cache.store(NO_CACHE, Ordering::Relaxed);
     }
 
     /// Returns the live segment with the given id.
@@ -214,8 +230,9 @@ impl AddressSpace {
 
     /// Finds the segment containing `addr`, if any.
     pub fn find(&self, addr: Addr) -> Option<&Segment> {
-        if let Some(id) = self.cache.get() {
-            if let Some(seg) = self.try_segment(id) {
+        let cached = self.cache.load(Ordering::Relaxed);
+        if cached != NO_CACHE {
+            if let Some(seg) = self.try_segment(SegmentId(cached)) {
                 if seg.contains(addr) {
                     return Some(seg);
                 }
@@ -225,7 +242,7 @@ impl AddressSpace {
         let (_, id) = *self.order.get(pos.checked_sub(1)?)?;
         let seg = self.segment(id);
         if seg.contains(addr) {
-            self.cache.set(Some(id));
+            self.cache.store(id.0, Ordering::Relaxed);
             Some(seg)
         } else {
             None
@@ -685,6 +702,22 @@ mod tests {
         assert_eq!(s.read_u32(Addr::new(16)).unwrap(), 1);
         assert_eq!(s.read_u32(Addr::new(20)).unwrap(), 2);
         assert_eq!(s.read_u32(Addr::new(24)).unwrap(), 3);
+    }
+
+    #[test]
+    fn address_space_is_sync() {
+        // Parallel mark workers share `&AddressSpace` across scoped threads.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<AddressSpace>();
+    }
+
+    #[test]
+    fn clone_preserves_cache_hint() {
+        let (s, _) = space_with(0x1000, 0x1000);
+        assert!(s.read_u8(Addr::new(0x1000)).is_ok()); // warm the cache
+        let c = s.clone();
+        assert!(c.read_u8(Addr::new(0x1000)).is_ok());
+        assert_eq!(c.mapped_bytes(), s.mapped_bytes());
     }
 
     #[test]

@@ -18,6 +18,7 @@ fn blacklisting_collapses_sparc_static_retention() {
     let config = Table1Config {
         seeds: vec![11],
         scale: 8,
+        ..Table1Config::default()
     };
     let row = table1::run_row(&profile, &config);
     let without = row.no_blacklisting.hi();
@@ -125,6 +126,7 @@ fn pointer_policy_controls_misidentification_rate() {
             seed: 2,
             blacklisting: false,
             pointer_policy: policy,
+            ..BuildOptions::default()
         });
         let Platform { machine, hooks, .. } = &mut platform;
         let r = shape.run(machine, &mut |m| hooks.tick(m));

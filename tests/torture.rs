@@ -60,7 +60,7 @@ enum Mode {
     Incremental,
 }
 
-fn machine(seed: u64, mode: Mode) -> Machine {
+fn machine(seed: u64, mode: Mode, mark_threads: u32) -> Machine {
     let mut m = Machine::new(MachineConfig {
         endian: Endian::Big,
         gc: GcConfig {
@@ -76,6 +76,10 @@ fn machine(seed: u64, mode: Mode) -> Machine {
             full_gc_every: 3,
             min_bytes_between_gcs: 12 << 10,
             free_space_divisor: 1 << 24,
+            mark_threads,
+            // Really spawn the workers even on a single-core host: the
+            // torture trace is the nastiest racing workload we have.
+            mark_threads_force: mark_threads > 1,
             ..GcConfig::default()
         },
         frame: FramePolicy {
@@ -97,7 +101,42 @@ fn machine(seed: u64, mode: Mode) -> Machine {
     m
 }
 
+/// Heap-census consistency: three independent full passes over the heap
+/// (the raw object iterator, the generation census, and the size-class
+/// census) and the incrementally maintained `bytes_live` counter must all
+/// describe the same heap. A marker that double-frees, double-sweeps or
+/// loses an object under any worker count breaks one of these first.
+fn check_census(m: &Machine) {
+    let heap = m.gc().heap();
+    let (mut live_objects, mut live_bytes) = (0u64, 0u64);
+    for obj in heap.live_objects() {
+        live_objects += 1;
+        live_bytes += u64::from(obj.bytes);
+    }
+    let stats = heap.stats();
+    assert_eq!(
+        stats.bytes_live, live_bytes,
+        "bytes_live counter disagrees with a full object walk"
+    );
+    let (young, old) = heap.generation_census();
+    assert_eq!(
+        young + old,
+        live_objects,
+        "generation census disagrees with the object walk"
+    );
+    let by_class: u64 = heap
+        .size_class_census()
+        .iter()
+        .map(|row| u64::from(row.live_objects))
+        .sum();
+    assert_eq!(
+        by_class, live_objects,
+        "size-class census disagrees with the object walk"
+    );
+}
+
 fn check(m: &Machine, shadow: &Shadow) {
+    check_census(m);
     let reachable = shadow.reachable();
     for &obj in &reachable {
         let addr = Addr::new(obj);
@@ -112,9 +151,9 @@ fn check(m: &Machine, shadow: &Shadow) {
     }
 }
 
-fn torture(seed: u64, mode: Mode, steps: u32) {
+fn torture(seed: u64, mode: Mode, steps: u32, mark_threads: u32) {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut m = machine(seed, mode);
+    let mut m = machine(seed, mode, mark_threads);
     let roots_base = m.alloc_static(ROOT_SLOTS);
     let mut shadow = Shadow {
         roots: vec![0; ROOT_SLOTS as usize],
@@ -242,29 +281,41 @@ fn prune_and_check(m: &mut Machine, shadow: &mut Shadow) {
     check(m, shadow);
 }
 
+/// Every torture configuration runs under serial marking and under four
+/// forced (really racing) mark workers — same trace, same shadow model.
+const MARK_THREADS: [u32; 2] = [1, 4];
+
 #[test]
 fn torture_full_collections() {
     for seed in [1u64, 2, 3, 4] {
-        torture(seed, Mode::StopWorld, 1500);
+        for threads in MARK_THREADS {
+            torture(seed, Mode::StopWorld, 1500, threads);
+        }
     }
 }
 
 #[test]
 fn torture_generational() {
     for seed in [5u64, 6, 7, 8] {
-        torture(seed, Mode::Generational, 1500);
+        for threads in MARK_THREADS {
+            torture(seed, Mode::Generational, 1500, threads);
+        }
     }
 }
 
 #[test]
 fn torture_incremental() {
     for seed in [9u64, 10, 11, 12] {
-        torture(seed, Mode::Incremental, 1500);
+        for threads in MARK_THREADS {
+            torture(seed, Mode::Incremental, 1500, threads);
+        }
     }
 }
 
 #[test]
 fn torture_long_single_run() {
-    torture(42, Mode::Generational, 6000);
-    torture(43, Mode::Incremental, 6000);
+    for threads in MARK_THREADS {
+        torture(42, Mode::Generational, 6000, threads);
+        torture(43, Mode::Incremental, 6000, threads);
+    }
 }
