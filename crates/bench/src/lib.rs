@@ -101,6 +101,14 @@ pub fn take_option(args: &mut Vec<String>, flag: &str) -> Option<String> {
     value
 }
 
+/// Extracts a boolean `--<flag>` (no value) from `args`, removing every
+/// occurrence; returns whether it was present.
+pub fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    let before = args.len();
+    args.retain(|a| a != flag);
+    args.len() != before
+}
+
 /// Parses the `--mark-threads <n>` option shared by the benchmark
 /// binaries; absent means 1 (serial marking).
 ///
@@ -189,6 +197,17 @@ mod tests {
     #[should_panic(expected = "needs a number")]
     fn mark_threads_rejects_garbage() {
         take_mark_threads(&mut args(&["--mark-threads", "lots"]));
+    }
+
+    #[test]
+    fn take_flag_strips_every_occurrence() {
+        let mut a = args(&["--lazy-sweep", "classic", "--lazy-sweep"]);
+        assert!(take_flag(&mut a, "--lazy-sweep"));
+        assert_eq!(a, args(&["classic"]));
+
+        let mut a = args(&["classic"]);
+        assert!(!take_flag(&mut a, "--lazy-sweep"));
+        assert_eq!(a, args(&["classic"]));
     }
 
     #[test]

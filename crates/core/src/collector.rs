@@ -4,10 +4,12 @@ use crate::{
     mark::{MarkOutcome, Marker},
     par_mark,
     telemetry::{self, GcEvent, PhaseTimes},
-    Blacklist, CollectKind, CollectReason, CollectionStats, Finalizers, GcConfig, GcError, GcStats,
-    MarkWorkerStats, ParallelMarkStats, Retainer, RootClass, MAX_MARK_THREADS,
+    Blacklist, CollectKind, CollectReason, CollectRequest, CollectionStats, Finalizers, GcConfig,
+    GcError, GcStats, MarkWorkerStats, ParallelMarkStats, Retainer, RootClass, MAX_MARK_THREADS,
 };
-use gc_heap::{Descriptor, DescriptorId, Heap, HeapError, ObjRef, ObjectKind, PageUse};
+use gc_heap::{
+    Descriptor, DescriptorId, Heap, HeapError, LazySweepStats, ObjRef, ObjectKind, PageUse,
+};
 use gc_vmspace::{Addr, AddressSpace, PageIdx, PAGE_BYTES};
 use std::collections::{HashMap, HashSet};
 use std::time::Instant;
@@ -69,6 +71,10 @@ pub struct Collector {
     /// facility of the paper-era collectors; PCR used it alongside
     /// finalization).
     weak_links: HashMap<Addr, Addr>,
+    /// The heap's realized deferred-sweep totals at the last point they
+    /// were reported to telemetry; the difference to the current totals is
+    /// the batch a [`GcEvent::LazySweep`] describes.
+    lazy_reported: LazySweepStats,
 }
 
 /// State of an in-progress incremental marking cycle.
@@ -105,6 +111,7 @@ impl Collector {
             minors_since_full: 0,
             inc: None,
             weak_links: HashMap::new(),
+            lazy_reported: LazySweepStats::default(),
             space,
             config,
         }
@@ -152,14 +159,18 @@ impl Collector {
                 Ok(addr)
             }
             Err(HeapError::OutOfMemory { .. }) => {
-                // Out-of-memory retries always use a full collection.
+                // Out-of-memory retries always use a full collection. It
+                // realizes and reports any deferred sweep work itself, so
+                // account this attempt's share first.
+                self.note_lazy_sweep();
                 self.collect_impl(CollectKind::Full, CollectReason::OutOfMemory);
-                let addr = self.try_alloc(bytes, kind).map_err(GcError::from)?;
+                let addr = self.try_alloc(bytes, kind)?;
                 self.allocate_black(addr);
                 Ok(addr)
             }
             Err(e) => Err(e.into()),
         };
+        self.note_lazy_sweep();
         let mapped_after = self.heap.stats().mapped_pages;
         if mapped_after > mapped_before {
             self.emit(|| GcEvent::HeapGrow {
@@ -176,6 +187,46 @@ impl Collector {
             self.emit(|| GcEvent::AllocSlowPath { bytes, duration });
         }
         result
+    }
+
+    /// Reports deferred sweep work realized since the last report: one
+    /// [`GcEvent::LazySweep`] describing the batch, and one sample in the
+    /// lazy-sweep pause histogram. No-op when nothing was realized, so
+    /// callers invoke it unconditionally after anything that may sweep.
+    fn note_lazy_sweep(&mut self) {
+        let totals = self.heap.lazy_sweep_totals();
+        let blocks_swept = totals.blocks_swept - self.lazy_reported.blocks_swept;
+        if blocks_swept == 0 {
+            return;
+        }
+        let duration = totals.sweep_time - self.lazy_reported.sweep_time;
+        let objects_freed = totals.objects_freed - self.lazy_reported.objects_freed;
+        let bytes_freed = totals.bytes_freed - self.lazy_reported.bytes_freed;
+        self.lazy_reported = totals;
+        self.stats.lazy_sweep_pauses.record_duration(duration);
+        let pending_blocks = self.heap.pending_sweep_blocks();
+        self.emit(|| GcEvent::LazySweep {
+            blocks_swept,
+            objects_freed,
+            bytes_freed,
+            pending_blocks,
+            duration,
+        });
+    }
+
+    /// Completes any deferred (lazy) sweep work now, returning the number
+    /// of blocks swept.
+    ///
+    /// After a collection with [`GcConfig::lazy_sweep`], free-list
+    /// reconstruction and empty-block release trickle in from the
+    /// allocation slow path; whole-heap analyses (census walks, page
+    /// accounting, fragmentation measurements, `dump`) that must see the
+    /// settled heap call this first. Always a no-op in eager mode or when
+    /// no blocks are pending.
+    pub fn finish_sweep(&mut self) -> u32 {
+        let swept = self.heap.finish_sweep();
+        self.note_lazy_sweep();
+        swept
     }
 
     /// During an incremental cycle, fresh objects are allocated *black*
@@ -263,7 +314,7 @@ impl Collector {
             self.heap
                 .alloc_typed(&mut self.space, bytes, desc, &mut pred)
         };
-        match result {
+        let result = match result {
             Ok(addr) => Ok(addr),
             Err(HeapError::OutOfMemory { .. }) => {
                 self.collect_impl(CollectKind::Full, CollectReason::OutOfMemory);
@@ -271,12 +322,15 @@ impl Collector {
                 let config = &self.config;
                 let mut pred =
                     |page: PageIdx, use_: PageUse| page_usable(blacklist, config, page, use_);
-                self.heap
-                    .alloc_typed(&mut self.space, bytes, desc, &mut pred)
-                    .map_err(GcError::from)
+                let addr = self
+                    .heap
+                    .alloc_typed(&mut self.space, bytes, desc, &mut pred)?;
+                Ok(addr)
             }
             Err(e) => Err(e.into()),
-        }
+        };
+        self.note_lazy_sweep();
+        result
     }
 
     /// Delivers an event to the configured observer, if any. The closure
@@ -323,10 +377,33 @@ impl Collector {
         s.bytes_since_collect >= threshold
     }
 
+    /// Runs a collection described by `request` — the unified entry point
+    /// behind [`collect`](Collector::collect),
+    /// [`collect_minor`](Collector::collect_minor) and
+    /// [`collect_increment`](Collector::collect_increment).
+    ///
+    /// [`CollectRequest::Full`] and [`CollectRequest::Minor`] always
+    /// complete a cycle and return `Some`;
+    /// [`CollectRequest::Increment`] advances an incremental cycle by one
+    /// bounded step and returns `Some` only from the step that finishes
+    /// the cycle.
+    pub fn run(&mut self, request: CollectRequest) -> Option<CollectionStats> {
+        self.startup_done = true;
+        match request {
+            CollectRequest::Full => {
+                Some(self.collect_impl(CollectKind::Full, CollectReason::Explicit))
+            }
+            CollectRequest::Minor => {
+                Some(self.collect_impl(CollectKind::Minor, CollectReason::Explicit))
+            }
+            CollectRequest::Increment(reason) => self.increment_impl(reason),
+        }
+    }
+
     /// Runs a full collection now.
     pub fn collect(&mut self) -> CollectionStats {
-        self.startup_done = true;
-        self.collect_impl(CollectKind::Full, CollectReason::Explicit)
+        self.run(CollectRequest::Full)
+            .expect("a full collection always completes")
     }
 
     /// Runs a minor (young-generation) collection now.
@@ -356,8 +433,8 @@ impl Collector {
     /// # }
     /// ```
     pub fn collect_minor(&mut self) -> CollectionStats {
-        self.startup_done = true;
-        self.collect_impl(CollectKind::Minor, CollectReason::Explicit)
+        self.run(CollectRequest::Minor)
+            .expect("a minor collection always completes")
     }
 
     /// Advances incremental marking by one bounded step, starting a cycle
@@ -369,7 +446,16 @@ impl Collector {
     /// [`incremental_budget`](GcConfig::incremental_budget) objects, or
     /// the stop-the-world finish (roots + dirty-page rescan + sweep).
     pub fn collect_increment(&mut self, reason: CollectReason) -> Option<CollectionStats> {
-        self.startup_done = true;
+        self.run(CollectRequest::Increment(reason))
+    }
+
+    fn increment_impl(&mut self, reason: CollectReason) -> Option<CollectionStats> {
+        if self.inc.is_none() {
+            // A new cycle clears mark bits, and pending blocks' reclamation
+            // decisions live in the previous cycle's marks: realize any
+            // deferred sweep work first, outside the measured pause.
+            self.finish_sweep();
+        }
         let t0 = Instant::now();
         let (done, gc_no) = match &mut self.inc {
             None => {
@@ -490,7 +576,11 @@ impl Collector {
         self.clear_dead_links(false);
         phases.finalize += t_phase.elapsed();
         let t_phase = Instant::now();
-        let sweep = self.heap.sweep();
+        let sweep = if self.config.lazy_sweep {
+            self.heap.sweep_lazy()
+        } else {
+            self.heap.sweep()
+        };
         phases.sweep = t_phase.elapsed();
         self.cards.clear();
         self.minors_since_full = 0;
@@ -531,6 +621,10 @@ impl Collector {
         // A stop-the-world collection abandons any in-progress incremental
         // cycle (its partial marks are cleared below).
         self.inc = None;
+        // Pending blocks' reclamation decisions live in the previous
+        // cycle's mark bits: realize any deferred sweep work before
+        // clearing them, outside the measured pause.
+        self.finish_sweep();
         let t0 = Instant::now();
         let minor = kind == CollectKind::Minor;
         let gc_no = self.stats.collections + 1;
@@ -694,10 +788,11 @@ impl Collector {
         self.clear_dead_links(minor);
         phases.finalize += t_phase.elapsed();
         let t_phase = Instant::now();
-        let sweep = if minor {
-            self.heap.sweep_young()
-        } else {
-            self.heap.sweep()
+        let sweep = match (self.config.lazy_sweep, minor) {
+            (true, true) => self.heap.sweep_young_lazy(),
+            (true, false) => self.heap.sweep_lazy(),
+            (false, true) => self.heap.sweep_young(),
+            (false, false) => self.heap.sweep(),
         };
         phases.sweep = t_phase.elapsed();
         self.cards.clear();
@@ -756,6 +851,7 @@ impl Collector {
             phases: c.phases,
             duration: c.duration,
             objects_marked: c.objects_marked,
+            objects_freed: c.sweep.objects_freed,
             bytes_freed: c.sweep.bytes_freed,
         });
     }
@@ -2076,5 +2172,194 @@ mod weak_link_tests {
             0,
             "cleared at the finish"
         );
+    }
+}
+
+#[cfg(test)]
+mod lazy_sweep_tests {
+    use super::*;
+    use crate::{observer, CollectRequest, RingBufferSink};
+    use gc_heap::HeapConfig;
+    use gc_vmspace::{Endian, SegmentKind, SegmentSpec};
+
+    fn lazy_collector(configure: impl FnOnce(&mut GcConfig)) -> Collector {
+        let mut space = AddressSpace::new(Endian::Big);
+        space
+            .map(SegmentSpec::new(
+                "globals",
+                SegmentKind::Data,
+                Addr::new(0x1_0000),
+                4096,
+            ))
+            .unwrap();
+        let mut config = GcConfig {
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                max_heap_bytes: 16 << 20,
+                growth_pages: 16,
+                ..HeapConfig::default()
+            },
+            lazy_sweep: true,
+            min_bytes_between_gcs: u64::MAX,
+            ..GcConfig::default()
+        };
+        configure(&mut config);
+        Collector::new(space, config)
+    }
+
+    const ROOT: Addr = Addr::new(0x1_0000);
+
+    #[test]
+    fn lazy_collection_is_observably_eager() {
+        let mut gc = lazy_collector(|_| {});
+        let kept = gc.alloc(16, ObjectKind::Composite).unwrap();
+        let dropped = gc.alloc(16, ObjectKind::Composite).unwrap();
+        gc.space_mut().write_u32(ROOT, kept.raw()).unwrap();
+        let stats = gc.collect();
+        // The snapshot decided — and reported — every slot's fate already.
+        assert_eq!(stats.sweep.objects_freed, 1);
+        assert!(stats.sweep.blocks_deferred > 0, "the sweep was deferred");
+        assert!(gc.is_live(kept));
+        assert!(!gc.is_live(dropped), "condemned before the block is swept");
+        assert!(gc.heap().pending_sweep_blocks() > 0);
+    }
+
+    #[test]
+    fn allocation_drains_pending_blocks() {
+        let mut gc = lazy_collector(|_| {});
+        for _ in 0..64 {
+            gc.alloc(16, ObjectKind::Composite).unwrap();
+        }
+        gc.collect();
+        let pending = gc.heap().pending_sweep_blocks();
+        assert!(pending > 0);
+        // The slow path sweeps pending 16-byte blocks to satisfy this.
+        gc.alloc(16, ObjectKind::Composite).unwrap();
+        assert!(gc.heap().pending_sweep_blocks() < pending);
+        assert!(gc.heap().lazy_sweep_totals().blocks_swept > 0);
+    }
+
+    #[test]
+    fn finish_sweep_drains_everything_and_feeds_the_histogram() {
+        let mut gc = lazy_collector(|_| {});
+        for _ in 0..64 {
+            gc.alloc(16, ObjectKind::Composite).unwrap();
+        }
+        gc.collect();
+        assert!(gc.heap().pending_sweep_blocks() > 0);
+        let swept = gc.finish_sweep();
+        assert!(swept > 0, "the escape hatch realized the deferred work");
+        assert_eq!(gc.heap().pending_sweep_blocks(), 0);
+        assert!(
+            gc.stats().lazy_sweep_pauses.count() > 0,
+            "realized batches are sampled"
+        );
+        assert_eq!(gc.finish_sweep(), 0, "idempotent once drained");
+    }
+
+    #[test]
+    fn lazy_sweep_events_report_realized_batches_exactly_once() {
+        let events = observer(RingBufferSink::new(256));
+        let handle = events.clone();
+        let mut gc = lazy_collector(move |c| c.observer = Some(handle));
+        for _ in 0..64 {
+            gc.alloc(16, ObjectKind::Composite).unwrap();
+        }
+        gc.collect();
+        while gc.heap().pending_sweep_blocks() > 0 {
+            gc.alloc(16, ObjectKind::Composite).unwrap();
+        }
+        gc.finish_sweep();
+        let (mut blocks, mut freed) = (0u64, 0u64);
+        for event in events.lock().unwrap().events() {
+            if let GcEvent::LazySweep {
+                blocks_swept,
+                objects_freed,
+                ..
+            } = event
+            {
+                assert!(blocks_swept > 0, "empty batches are not emitted");
+                blocks += blocks_swept;
+                freed += objects_freed;
+            }
+        }
+        let totals = gc.heap().lazy_sweep_totals();
+        assert_eq!(blocks, totals.blocks_swept, "each batch reported once");
+        assert_eq!(freed, totals.objects_freed);
+    }
+
+    #[test]
+    fn run_full_matches_the_collect_wrapper() {
+        let mut gc = lazy_collector(|_| {});
+        gc.alloc(16, ObjectKind::Composite).unwrap();
+        let stats = gc.run(CollectRequest::Full).expect("full always completes");
+        assert_eq!(stats.kind, CollectKind::Full);
+        assert_eq!(stats.reason, CollectReason::Explicit);
+        let next = gc.collect();
+        assert_eq!(next.gc_no, stats.gc_no + 1, "wrapper shares the sequence");
+    }
+
+    #[test]
+    fn run_minor_matches_the_collect_minor_wrapper() {
+        let mut gc = lazy_collector(|c| c.generational = true);
+        let obj = gc.alloc(16, ObjectKind::Composite).unwrap();
+        gc.space_mut().write_u32(ROOT, obj.raw()).unwrap();
+        let stats = gc
+            .run(CollectRequest::Minor)
+            .expect("minor always completes");
+        assert_eq!(stats.kind, CollectKind::Minor);
+        assert!(gc.is_live(obj));
+        let next = gc.collect_minor();
+        assert_eq!(next.gc_no, stats.gc_no + 1);
+    }
+
+    #[test]
+    fn run_increment_steps_an_incremental_cycle() {
+        let mut gc = lazy_collector(|c| {
+            c.incremental = true;
+            c.incremental_budget = 4;
+        });
+        let obj = gc.alloc(16, ObjectKind::Composite).unwrap();
+        gc.space_mut().write_u32(ROOT, obj.raw()).unwrap();
+        let mut steps = 0u32;
+        let stats = loop {
+            steps += 1;
+            assert!(steps < 1_000, "incremental cycle terminates");
+            if let Some(stats) = gc.run(CollectRequest::Increment(CollectReason::Explicit)) {
+                break stats;
+            }
+        };
+        assert_eq!(stats.kind, CollectKind::Full);
+        assert!(steps > 1, "the budget forced multiple increments");
+        assert!(gc.is_live(obj));
+    }
+
+    #[test]
+    fn lazy_and_eager_collectors_agree_on_a_shared_trace() {
+        let run = |lazy: bool| {
+            let mut gc = lazy_collector(|c| c.lazy_sweep = lazy);
+            let mut survivors = Vec::new();
+            for i in 0..200u32 {
+                let a = gc.alloc(8 + (i % 5) * 16, ObjectKind::Composite).unwrap();
+                if i % 3 == 0 {
+                    gc.space_mut()
+                        .write_u32(ROOT + (i / 3) * 4, a.raw())
+                        .unwrap();
+                    survivors.push(a);
+                }
+            }
+            let stats = gc.collect();
+            let live: Vec<bool> = survivors.iter().map(|&a| gc.is_live(a)).collect();
+            (
+                stats.sweep.objects_freed,
+                stats.sweep.bytes_freed,
+                stats.sweep.objects_live,
+                live,
+                gc.heap().stats().bytes_live,
+            )
+        };
+        let eager = run(false);
+        let lazy = run(true);
+        assert_eq!(eager, lazy, "lazy sweeping is transparent");
     }
 }

@@ -33,6 +33,18 @@ pub(crate) fn dump(gc: &Collector) -> String {
     );
     let (young, old) = heap.generation_census();
     let _ = writeln!(out, "generations: {young} young / {old} old objects");
+    if gc.config().lazy_sweep || heap.pending_sweep_blocks() > 0 {
+        let totals = heap.lazy_sweep_totals();
+        let _ = writeln!(
+            out,
+            "lazy sweep: {} block(s) pending, epoch {}; realized {} block(s) swept, {} released, {} bytes freed",
+            heap.pending_sweep_blocks(),
+            heap.sweep_epoch(),
+            totals.blocks_swept,
+            totals.blocks_released,
+            totals.bytes_freed,
+        );
+    }
 
     // Blocks grouped by (size, kind).
     let mut by_shape: BTreeMap<(u32, &'static str), (u32, u64)> = BTreeMap::new();
@@ -47,7 +59,9 @@ pub(crate) fn dump(gc: &Collector) -> String {
         };
         let e = by_shape.entry(label).or_insert((0, 0));
         e.0 += 1;
-        e.1 += u64::from(block.live_objects());
+        // Pending-aware: survivors only, whether or not the block's
+        // deferred sweep has run yet.
+        e.1 += u64::from(heap.live_objects_in(block));
     }
     let _ = writeln!(out, "--- blocks by object size ---");
     for ((bytes, kind), (blocks, live)) in by_shape {

@@ -19,6 +19,13 @@ pub enum GcError {
         /// The offending address.
         addr: gc_vmspace::Addr,
     },
+    /// A configuration was rejected by [`GcConfig::builder`] validation.
+    ///
+    /// [`GcConfig::builder`]: crate::GcConfig::builder
+    InvalidConfig {
+        /// What the builder rejected.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for GcError {
@@ -29,6 +36,9 @@ impl fmt::Display for GcError {
             GcError::NotAnObject { addr } => {
                 write!(f, "{addr} is not the base of a live object")
             }
+            GcError::InvalidConfig { reason } => {
+                write!(f, "invalid collector configuration: {reason}")
+            }
         }
     }
 }
@@ -38,7 +48,7 @@ impl Error for GcError {
         match self {
             GcError::Heap(e) => Some(e),
             GcError::Vm(e) => Some(e),
-            GcError::NotAnObject { .. } => None,
+            GcError::NotAnObject { .. } | GcError::InvalidConfig { .. } => None,
         }
     }
 }

@@ -61,10 +61,13 @@ pub(crate) use finalize::Finalizers;
 
 pub use blacklist::{Blacklist, RootClass};
 pub use collector::Collector;
-pub use config::{BlacklistKind, GcConfig, PointerPolicy, ScanAlignment, MAX_MARK_THREADS};
+pub use config::{
+    BlacklistKind, GcConfig, GcConfigBuilder, PointerPolicy, ScanAlignment, MAX_MARK_THREADS,
+};
 pub use error::GcError;
 pub use stats::{
-    CollectKind, CollectReason, CollectionStats, GcStats, MarkWorkerStats, ParallelMarkStats,
+    CollectKind, CollectReason, CollectRequest, CollectionStats, GcStats, MarkWorkerStats,
+    ParallelMarkStats,
 };
 pub use telemetry::{
     json_escape, observer, GcEvent, GcObserver, Histogram, JsonLinesSink, NullSink, PhaseTimes,

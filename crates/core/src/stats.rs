@@ -25,6 +25,23 @@ impl fmt::Display for CollectKind {
     }
 }
 
+/// A request to the unified collection entry point,
+/// [`Collector::run`](crate::Collector::run).
+///
+/// `Full` and `Minor` always complete a cycle; `Increment` performs one
+/// bounded step of an incremental cycle (starting one if needed) and only
+/// yields statistics on the step that finishes the cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CollectRequest {
+    /// A full stop-the-world collection.
+    Full,
+    /// A minor (young-generation) collection.
+    Minor,
+    /// One bounded incremental marking step, attributed to the given
+    /// reason.
+    Increment(CollectReason),
+}
+
 /// Why a collection ran.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CollectReason {
@@ -199,6 +216,12 @@ pub struct GcStats {
     /// Distribution of allocation slow-path latencies (allocations that
     /// triggered collection work before returning), in nanoseconds.
     pub alloc_slow_path: Histogram,
+    /// Distribution of realized deferred-sweep batches (lazy sweeping
+    /// only), in nanoseconds: the time each allocation slow path or
+    /// [`finish_sweep`](crate::Collector::finish_sweep) spent rebuilding
+    /// free lists. This is exactly the work the collection pauses in
+    /// [`pause_times`](GcStats::pause_times) no longer include.
+    pub lazy_sweep_pauses: Histogram,
 }
 
 impl GcStats {

@@ -36,7 +36,15 @@ use std::time::Duration;
 ///
 /// Version 2 added parallel-mark telemetry: the `mark_worker` event, the
 /// `mark_threads` config field, and `last_collection.parallel_mark`.
-pub const METRICS_SCHEMA_VERSION: u32 = 2;
+///
+/// Version 3 added lazy-sweep telemetry: the `lazy_sweep` event, the
+/// `lazy_sweep` and `sweep_budget` config fields, the snapshot's
+/// `lazy_sweep` section (pending blocks, realized totals, batch-latency
+/// histogram), `last_collection.blocks_deferred`, and the
+/// `collection_end` event's `objects_freed` field. With lazy sweeping
+/// on, `pause_ns` no longer includes free-list reconstruction — that work
+/// is sampled in `lazy_sweep.batch_ns` instead.
+pub const METRICS_SCHEMA_VERSION: u32 = 3;
 
 // ---------------------------------------------------------------------------
 // Phase timings
@@ -109,6 +117,9 @@ pub enum GcEvent {
         duration: Duration,
         /// Objects marked live.
         objects_marked: u64,
+        /// Objects reclaimed by the sweep (with lazy sweeping, the exact
+        /// count the snapshot condemned — realized later, at allocation).
+        objects_freed: u64,
         /// Bytes reclaimed by the sweep.
         bytes_freed: u64,
     },
@@ -159,6 +170,24 @@ pub enum GcEvent {
         /// Number of newly queued finalizable objects.
         count: u32,
     },
+    /// A batch of deferred sweep work was realized (lazy sweeping only):
+    /// an allocation slow path, an explicit free, or a
+    /// [`finish_sweep`](crate::Collector::finish_sweep) rebuilt free lists
+    /// for blocks a previous collection left pending.
+    LazySweep {
+        /// Blocks swept in this batch.
+        blocks_swept: u64,
+        /// Objects reclaimed by the batch (already counted in the owning
+        /// collection's sweep statistics at snapshot time).
+        objects_freed: u64,
+        /// Bytes reclaimed by the batch.
+        bytes_freed: u64,
+        /// Blocks still awaiting their deferred sweep afterwards.
+        pending_blocks: u32,
+        /// Wall-clock time the batch took — mutator time, not collection
+        /// pause.
+        duration: Duration,
+    },
     /// One worker's share of a parallel mark phase (`mark_threads > 1`).
     /// Emitted once per worker, in worker order, after the drain's barrier.
     MarkWorker {
@@ -189,6 +218,7 @@ impl GcEvent {
             GcEvent::StackClear { .. } => "stack_clear",
             GcEvent::IncrementalPause { .. } => "incremental_pause",
             GcEvent::FinalizersReady { .. } => "finalizers_ready",
+            GcEvent::LazySweep { .. } => "lazy_sweep",
             GcEvent::MarkWorker { .. } => "mark_worker",
         }
     }
@@ -212,10 +242,11 @@ impl GcEvent {
                 phases,
                 duration,
                 objects_marked,
+                objects_freed,
                 bytes_freed,
             } => {
                 fields.push_str(&format!(
-                    ",\"gc_no\":{gc_no},\"kind\":\"{kind}\",\"phases\":{},\"duration_ns\":{},\"objects_marked\":{objects_marked},\"bytes_freed\":{bytes_freed}",
+                    ",\"gc_no\":{gc_no},\"kind\":\"{kind}\",\"phases\":{},\"duration_ns\":{},\"objects_marked\":{objects_marked},\"objects_freed\":{objects_freed},\"bytes_freed\":{bytes_freed}",
                     phases.to_json(),
                     duration.as_nanos(),
                 ));
@@ -254,6 +285,18 @@ impl GcEvent {
             }
             GcEvent::FinalizersReady { gc_no, count } => {
                 fields.push_str(&format!(",\"gc_no\":{gc_no},\"count\":{count}"));
+            }
+            GcEvent::LazySweep {
+                blocks_swept,
+                objects_freed,
+                bytes_freed,
+                pending_blocks,
+                duration,
+            } => {
+                fields.push_str(&format!(
+                    ",\"blocks_swept\":{blocks_swept},\"objects_freed\":{objects_freed},\"bytes_freed\":{bytes_freed},\"pending_blocks\":{pending_blocks},\"duration_ns\":{}",
+                    duration.as_nanos()
+                ));
             }
             GcEvent::MarkWorker {
                 gc_no,
@@ -707,7 +750,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     let last = match &stats.last {
         None => "null".to_string(),
         Some(c) => format!(
-            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{},\"parallel_mark\":{}}}",
+            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{},\"blocks_deferred\":{},\"parallel_mark\":{}}}",
             c.gc_no,
             c.kind,
             c.reason,
@@ -724,6 +767,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
             c.finalizers_ready,
             c.sweep.objects_freed,
             c.sweep.bytes_freed,
+            c.sweep.blocks_deferred,
             parallel_mark_json(c.parallel_mark.as_ref()),
         ),
     };
@@ -772,16 +816,35 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     );
 
     let config_summary = format!(
-        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{}}}",
+        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{},\"lazy_sweep\":{},\"sweep_budget\":{}}}",
         config.pointer_policy,
         config.scan_alignment,
         config.generational,
         config.incremental,
         config.mark_threads,
+        config.lazy_sweep,
+        config.heap.sweep_budget,
+    );
+
+    // Lazy-sweep state: what is still pending, and the deferred work
+    // realized so far (free-list rebuilds now happen on mutator time, so
+    // their latencies are sampled here rather than in `pause_ns`).
+    let lazy_totals = gc.heap().lazy_sweep_totals();
+    let lazy_sweep = format!(
+        "{{\"enabled\":{},\"pending_blocks\":{},\"sweep_epoch\":{},\"blocks_swept\":{},\"blocks_released\":{},\"objects_freed\":{},\"bytes_freed\":{},\"sweep_time_ns\":{},\"batch_ns\":{}}}",
+        config.lazy_sweep,
+        gc.heap().pending_sweep_blocks(),
+        gc.heap().sweep_epoch(),
+        lazy_totals.blocks_swept,
+        lazy_totals.blocks_released,
+        lazy_totals.objects_freed,
+        lazy_totals.bytes_freed,
+        lazy_totals.sweep_time.as_nanos(),
+        stats.lazy_sweep_pauses.to_json(),
     );
 
     format!(
-        "{{\"version\":{METRICS_SCHEMA_VERSION},\"config\":{config_summary},\"collections\":{collections},\"last_collection\":{last},\"pause_ns\":{},\"alloc_slow_path_ns\":{},\"heap\":{heap},\"blacklist\":{blacklist}}}",
+        "{{\"version\":{METRICS_SCHEMA_VERSION},\"config\":{config_summary},\"collections\":{collections},\"last_collection\":{last},\"pause_ns\":{},\"alloc_slow_path_ns\":{},\"lazy_sweep\":{lazy_sweep},\"heap\":{heap},\"blacklist\":{blacklist}}}",
         stats.pause_times.to_json(),
         stats.alloc_slow_path.to_json(),
     )

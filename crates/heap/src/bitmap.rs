@@ -96,6 +96,15 @@ impl Bitmap {
     pub fn iter_zeros(&self) -> impl Iterator<Item = u32> + '_ {
         (0..self.nbits).filter(move |&i| !self.get(i))
     }
+
+    /// The backing words, 64 bits each, bit `i` at `words()[i / 64]` bit
+    /// `i % 64`. Bits at or beyond [`len`](Self::len) are always zero.
+    ///
+    /// Lets whole-bitmap set algebra (e.g. the lazy-sweep survivor census)
+    /// run one word at a time instead of one bit at a time.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
 }
 
 impl fmt::Debug for Bitmap {
@@ -250,6 +259,12 @@ impl AtomicBitmap {
     /// Iterates over the indices of clear bits in increasing order.
     pub fn iter_zeros(&self) -> impl Iterator<Item = u32> + '_ {
         (0..self.nbits).filter(move |&i| !self.get(i))
+    }
+
+    /// Reads backing word `i` (bits `64 * i ..`), or 0 past the end.
+    /// The word-at-a-time counterpart of [`Bitmap::words`] for mark bits.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words.get(i).map_or(0, |w| w.load(Ordering::Relaxed))
     }
 }
 

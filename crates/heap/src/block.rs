@@ -84,6 +84,11 @@ pub struct Block {
     /// slot): objects that survived a collection are *old*; minor
     /// collections treat them as immortal roots and sweep only the young.
     pub(crate) old: Bitmap,
+    /// Set between a lazy-sweep snapshot and this block's deferred sweep:
+    /// the allocation/old bits still describe the pre-collection heap, and
+    /// the mark bits of that collection decide each slot's fate. While
+    /// pending, per-slot liveness is `allocated && survives-the-snapshot`.
+    pub(crate) pending: bool,
 }
 
 impl Block {
@@ -98,6 +103,7 @@ impl Block {
             allocated: Bitmap::new(n),
             marked: AtomicBitmap::new(n),
             old: Bitmap::new(n),
+            pending: false,
         }
     }
 
@@ -112,6 +118,7 @@ impl Block {
             allocated: Bitmap::new(1),
             marked: AtomicBitmap::new(1),
             old: Bitmap::new(1),
+            pending: false,
         }
     }
 
@@ -208,6 +215,17 @@ impl Block {
     /// Returns `true` if the block contains no live objects.
     pub fn is_unused(&self) -> bool {
         self.allocated.count_ones() == 0
+    }
+
+    /// Is the block awaiting a deferred (lazy) sweep?
+    ///
+    /// A pending block's allocation bits still include the objects the last
+    /// collection condemned; use [`Heap::live_objects_in`] rather than
+    /// [`live_objects`](Self::live_objects) to count survivors exactly.
+    ///
+    /// [`Heap::live_objects_in`]: crate::Heap::live_objects_in
+    pub fn is_pending_sweep(&self) -> bool {
+        self.pending
     }
 }
 

@@ -5,7 +5,8 @@ use crate::{
     GRANULE_BYTES,
 };
 use gc_vmspace::{Addr, AddressSpace, PageIdx, SegmentKind, SegmentSpec, PAGE_BYTES};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::time::{Duration, Instant};
 
 /// Flat page-index → block-id map covering the whole 2^20-page space.
 #[derive(Debug)]
@@ -70,6 +71,11 @@ pub struct HeapConfig {
     pub growth_pages: u32,
     /// Free-list ordering policy.
     pub freelist_policy: FreeListPolicy,
+    /// Deferred-sweep work bound: how many pending blocks one allocation's
+    /// slow path may sweep while reloading a free list (lazy sweeping).
+    /// Values below 1 behave as 1 — an allocation that finds its free list
+    /// empty must be allowed to sweep at least one block to make progress.
+    pub sweep_budget: u32,
 }
 
 impl Default for HeapConfig {
@@ -79,6 +85,7 @@ impl Default for HeapConfig {
             max_heap_bytes: 512 << 20,
             growth_pages: 256,
             freelist_policy: FreeListPolicy::AddressOrdered,
+            sweep_budget: 64,
         }
     }
 }
@@ -100,6 +107,39 @@ pub struct SweepStats {
     pub objects_promoted: u64,
     /// Bytes promoted.
     pub bytes_promoted: u64,
+    /// Blocks whose free-list reconstruction was deferred to the
+    /// allocator's slow path (lazy sweeping). Always 0 for an eager sweep.
+    /// The freed/live/promoted tallies above are exact either way: a lazy
+    /// snapshot decides every slot's fate up front and defers only the
+    /// mutation work.
+    pub blocks_deferred: u32,
+}
+
+/// Cumulative accounting of *realized* deferred sweep work: everything the
+/// allocation slow path, [`Heap::finish_sweep`], and the explicit-free path
+/// have swept since the heap was created.
+///
+/// The freed/promoted tallies here overlap the per-collection
+/// [`SweepStats`]: a lazy snapshot already reported each slot's fate; these
+/// totals say when the reclamation work actually ran (and what it yielded),
+/// not how much garbage existed. By the time every pending block is swept,
+/// `objects_freed`/`bytes_freed` equal the sum of the snapshots' counts.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct LazySweepStats {
+    /// Pending blocks swept outside a collection pause.
+    pub blocks_swept: u64,
+    /// Of those, blocks released back to the page pool.
+    pub blocks_released: u64,
+    /// Objects reclaimed by deferred sweeps.
+    pub objects_freed: u64,
+    /// Bytes reclaimed by deferred sweeps.
+    pub bytes_freed: u64,
+    /// Young survivors tenured by deferred sweeps.
+    pub objects_promoted: u64,
+    /// Bytes tenured by deferred sweeps.
+    pub bytes_promoted: u64,
+    /// Wall-clock time spent in deferred sweeping.
+    pub sweep_time: Duration,
 }
 
 /// Aggregate heap statistics.
@@ -205,6 +245,23 @@ pub struct Heap {
     descriptors: Vec<Descriptor>,
     /// Object base address → descriptor, for typed objects only.
     typed: HashMap<u32, DescriptorId>,
+    /// Deferred-sweep queues for small blocks, indexed like `free_lists`:
+    /// blocks whose free-list reconstruction the last lazy snapshot left to
+    /// the allocator. Entries may be stale (block already swept via
+    /// `finish_sweep` or released); the per-block `pending` flag decides.
+    pending_small: Vec<VecDeque<BlockId>>,
+    /// Deferred-sweep queue for large (whole-page) blocks.
+    pending_large: VecDeque<BlockId>,
+    /// Blocks currently awaiting their deferred sweep.
+    pending_blocks: u32,
+    /// Whether the outstanding snapshot came from a *minor* collection
+    /// (old objects survive regardless of marks).
+    pending_minor: bool,
+    /// Bumped by every lazy snapshot: the mark-bitmap epoch. A block whose
+    /// `pending` flag is set holds mark bits from this epoch.
+    sweep_epoch: u64,
+    /// Realized deferred-sweep work, cumulatively.
+    lazy_totals: LazySweepStats,
 }
 
 fn fl_index(class: SizeClass, kind: ObjectKind) -> usize {
@@ -215,6 +272,26 @@ fn fl_index(class: SizeClass, kind: ObjectKind) -> usize {
         }
 }
 
+/// Word-at-a-time survivor census of one block against the current mark
+/// bits: `(survivors, to-be-promoted)`. A slot survives if it is allocated
+/// and marked — or allocated and old during a minor sweep — and every
+/// survivor ends up old (tenured). This is the cheap half of a sweep; the
+/// lazy snapshot runs it so every census stays exact while the per-slot
+/// mutation work is deferred to the allocator.
+fn survivor_census(block: &Block, minor: bool) -> (u32, u32) {
+    let mut live = 0;
+    let mut promoted = 0;
+    let alloc_words = block.allocated.words();
+    let old_words = block.old.words();
+    for (i, (&alloc, &old)) in alloc_words.iter().zip(old_words).enumerate() {
+        let marked = block.marked.word(i);
+        let keep = alloc & (marked | if minor { old } else { 0 });
+        live += keep.count_ones();
+        promoted += (keep & !old).count_ones();
+    }
+    (live, promoted)
+}
+
 impl Heap {
     /// Creates an empty heap with the given configuration.
     pub fn new(config: HeapConfig) -> Self {
@@ -222,6 +299,7 @@ impl Heap {
         let free_lists = (0..SizeClass::COUNT * 2)
             .map(|_| FreeList::new(config.freelist_policy))
             .collect();
+        let pending_small = (0..SizeClass::COUNT * 2).map(|_| VecDeque::new()).collect();
         Heap {
             next_expansion: heap_base,
             last_segment: None,
@@ -240,6 +318,12 @@ impl Heap {
             objects_allocated_total: 0,
             descriptors: Vec::new(),
             typed: HashMap::new(),
+            pending_small,
+            pending_large: VecDeque::new(),
+            pending_blocks: 0,
+            pending_minor: false,
+            sweep_epoch: 0,
+            lazy_totals: LazySweepStats::default(),
         }
     }
 
@@ -309,6 +393,13 @@ impl Heap {
     ///
     /// The returned object's memory is zeroed.
     ///
+    /// Under lazy sweeping this is the demand-driven slow path: when the
+    /// free list (or page pool) is empty, up to
+    /// [`sweep_budget`](HeapConfig::sweep_budget) pending blocks of the
+    /// requested size class are swept first, and a genuine out-of-memory
+    /// report is preceded by a [`finish_sweep`](Heap::finish_sweep) — the
+    /// lazy heap never refuses an allocation the eager heap could satisfy.
+    ///
     /// # Errors
     ///
     /// [`HeapError::ZeroSized`] for `bytes == 0`;
@@ -324,6 +415,25 @@ impl Heap {
         if bytes == 0 {
             return Err(HeapError::ZeroSized);
         }
+        match self.alloc_sized(space, bytes, kind, &mut *pred) {
+            Err(HeapError::OutOfMemory { .. }) if self.pending_blocks > 0 => {
+                // Unswept blocks may still hold the slots or pages this
+                // request needs; complete the deferred sweep before
+                // reporting a real out-of-memory condition.
+                self.finish_sweep();
+                self.alloc_sized(space, bytes, kind, pred)
+            }
+            result => result,
+        }
+    }
+
+    fn alloc_sized(
+        &mut self,
+        space: &mut AddressSpace,
+        bytes: u32,
+        kind: ObjectKind,
+        pred: PagePredicate<'_>,
+    ) -> Result<Addr, HeapError> {
         match SizeClass::for_bytes(bytes) {
             Some(class) => self.alloc_small(space, class, kind, pred),
             None => self.alloc_large(space, bytes, kind, pred),
@@ -340,6 +450,13 @@ impl Heap {
         let fli = fl_index(class, kind);
         if let Some(addr) = self.free_lists[fli].pop() {
             return self.finish_alloc(space, addr, class.bytes());
+        }
+        // Lazy-sweep slow path: reload this class's free list from blocks
+        // the last collection left pending before taking a fresh page.
+        if self.sweep_pending_small(fli) {
+            if let Some(addr) = self.free_lists[fli].pop() {
+                return self.finish_alloc(space, addr, class.bytes());
+            }
         }
         let mut denied = 0u32;
         // Quarantined (predicate-rejected) pages are still usable by small
@@ -386,6 +503,10 @@ impl Heap {
     ) -> Result<Addr, HeapError> {
         let obj_bytes = bytes.div_ceil(GRANULE_BYTES) * GRANULE_BYTES;
         let npages = obj_bytes.div_ceil(PAGE_BYTES);
+        // Lazy-sweep slow path: sweeping pending large blocks releases the
+        // dead ones' pages, which may satisfy this request without growing
+        // the heap.
+        self.sweep_pending_large();
         let mut denied = 0u32;
         let mut check = |p: PageIdx, first: bool| {
             let use_ = if first {
@@ -635,6 +756,19 @@ impl Heap {
         Some((block, slot))
     }
 
+    /// Decides a slot's liveness, honouring any outstanding lazy-sweep
+    /// snapshot: a pending block's unmarked (and, outside minor snapshots,
+    /// unmarked-or-young) slots are already condemned — the deferred sweep
+    /// only realizes the decision. This keeps lazy sweeping transparent:
+    /// every liveness view agrees with what an eager sweep would have left.
+    #[inline]
+    fn slot_live(&self, block: &Block, slot: u32) -> bool {
+        block.allocated.get(slot)
+            && (!block.pending
+                || block.marked.get(slot)
+                || (self.pending_minor && block.old.get(slot)))
+    }
+
     /// Resolves an address to the live object whose extent contains it.
     ///
     /// This is the collector's "valid object address" test (fig. 2): any
@@ -642,7 +776,7 @@ impl Heap {
     /// policy using [`ObjRef::base`].
     pub fn object_containing(&self, addr: Addr) -> Option<ObjRef> {
         let (block, slot) = self.slot_of(addr)?;
-        if !block.is_allocated(slot) {
+        if !self.slot_live(block, slot) {
             return None;
         }
         Some(ObjRef {
@@ -711,7 +845,14 @@ impl Heap {
     }
 
     /// Clears every mark bit (start of a collection).
+    ///
+    /// Realizes any outstanding lazy-sweep snapshot first: pending blocks'
+    /// reclamation decisions live in their mark bits, so wiping the bits
+    /// without sweeping would resurrect condemned objects. (The collector
+    /// drains pending blocks before starting a cycle anyway — this keeps
+    /// the invariant even for direct heap users.)
     pub fn clear_marks(&mut self) {
+        self.finish_sweep();
         for block in self.blocks.iter_mut().flatten() {
             block.marked.clear_all();
         }
@@ -737,8 +878,17 @@ impl Heap {
         for fl in &mut self.free_lists {
             fl.clear();
         }
+        // An eager sweep supersedes any outstanding lazy snapshot: it
+        // visits every block with the same (fresh) mark bits the deferred
+        // sweeps would have used.
+        for q in &mut self.pending_small {
+            q.clear();
+        }
+        self.pending_large.clear();
+        self.pending_blocks = 0;
         let mut released: Vec<BlockId> = Vec::new();
         for block in self.blocks.iter_mut().flatten() {
+            block.pending = false;
             let mut live_here = 0u32;
             for slot in 0..block.slots() {
                 if !block.allocated.get(slot) {
@@ -782,6 +932,218 @@ impl Heap {
         stats
     }
 
+    /// Lazy counterpart of [`Heap::sweep`]: decides every slot's fate
+    /// against the current mark bits (so all counts in the returned stats
+    /// are exact and `bytes_live` is re-based, exactly as after an eager
+    /// sweep) but defers the per-slot mutation work — free-list
+    /// reconstruction, bit clearing, tenuring, block release — to the
+    /// allocator's slow path, [`Heap::finish_sweep`], or the explicit-free
+    /// path. All object free lists are cleared: a pending block's slots
+    /// become allocatable only once that block is actually swept.
+    ///
+    /// The caller (the collector) must complete any previous snapshot
+    /// *before* clearing mark bits for the next cycle — pending blocks'
+    /// reclamation decisions live in those bits.
+    pub fn sweep_lazy(&mut self) -> SweepStats {
+        self.sweep_lazy_impl(false)
+    }
+
+    /// Lazy counterpart of [`Heap::sweep_young`]; see [`Heap::sweep_lazy`].
+    pub fn sweep_young_lazy(&mut self) -> SweepStats {
+        self.sweep_lazy_impl(true)
+    }
+
+    fn sweep_lazy_impl(&mut self, minor: bool) -> SweepStats {
+        let mut stats = SweepStats::default();
+        for fl in &mut self.free_lists {
+            fl.clear();
+        }
+        for q in &mut self.pending_small {
+            q.clear();
+        }
+        self.pending_large.clear();
+        self.pending_blocks = 0;
+        self.pending_minor = minor;
+        self.sweep_epoch += 1;
+        for block in self.blocks.iter_mut().flatten() {
+            let (live, promoted) = survivor_census(block, minor);
+            let freed = block.allocated.count_ones() - live;
+            let ob = u64::from(block.obj_bytes());
+            stats.objects_live += u64::from(live);
+            stats.bytes_live += u64::from(live) * ob;
+            stats.objects_freed += u64::from(freed);
+            stats.bytes_freed += u64::from(freed) * ob;
+            stats.objects_promoted += u64::from(promoted);
+            stats.bytes_promoted += u64::from(promoted) * ob;
+            block.pending = true;
+            match block.shape {
+                BlockShape::Small { class } => {
+                    self.pending_small[fl_index(class, block.kind)].push_back(block.id);
+                }
+                BlockShape::Large { .. } => self.pending_large.push_back(block.id),
+            }
+            self.pending_blocks += 1;
+        }
+        stats.blocks_deferred = self.pending_blocks;
+        self.bytes_live = stats.bytes_live;
+        stats
+    }
+
+    /// Realizes the deferred sweep of one pending block: frees condemned
+    /// slots, tenures survivors, rebuilds its share of the free list, and
+    /// releases it entirely if nothing survived. Returns `false` for stale
+    /// queue entries (block already swept or released).
+    fn sweep_pending_block(&mut self, id: BlockId) -> bool {
+        let idx = id.0 as usize;
+        let minor = self.pending_minor;
+        let mut freed = 0u32;
+        let mut promoted = 0u32;
+        let mut live_here = 0u32;
+        let (ob, small) = {
+            let Some(block) = self.blocks.get_mut(idx).and_then(Option::as_mut) else {
+                return false;
+            };
+            if !block.pending {
+                return false;
+            }
+            block.pending = false;
+            for slot in 0..block.slots() {
+                if !block.allocated.get(slot) {
+                    continue;
+                }
+                let old = block.old.get(slot);
+                let marked = block.marked.get(slot);
+                if (minor && old) || marked {
+                    live_here += 1;
+                    if marked && !old {
+                        block.old.set(slot);
+                        promoted += 1;
+                    }
+                } else {
+                    block.allocated.clear(slot);
+                    block.old.clear(slot);
+                    self.typed.remove(&block.slot_base(slot).raw());
+                    freed += 1;
+                }
+            }
+            let small = match block.shape {
+                BlockShape::Small { class } => Some((class, block.kind)),
+                BlockShape::Large { .. } => None,
+            };
+            (u64::from(block.obj_bytes()), small)
+        };
+        // `bytes_live` was already re-based by the snapshot; only the
+        // realized-work totals move here.
+        self.pending_blocks -= 1;
+        self.lazy_totals.blocks_swept += 1;
+        self.lazy_totals.objects_freed += u64::from(freed);
+        self.lazy_totals.bytes_freed += u64::from(freed) * ob;
+        self.lazy_totals.objects_promoted += u64::from(promoted);
+        self.lazy_totals.bytes_promoted += u64::from(promoted) * ob;
+        if live_here == 0 {
+            self.release_block(id);
+            self.lazy_totals.blocks_released += 1;
+        } else if let Some((class, kind)) = small {
+            let fli = fl_index(class, kind);
+            let block = self.blocks[idx].as_ref().expect("survivors keep the block");
+            for slot in block.allocated.iter_zeros() {
+                self.free_lists[fli].push(block.slot_base(slot));
+            }
+        }
+        true
+    }
+
+    /// Sweeps pending blocks of one small (class, kind) pair until its free
+    /// list has a slot or the per-allocation budget is spent. Returns
+    /// `true` if the free list is now non-empty.
+    fn sweep_pending_small(&mut self, fli: usize) -> bool {
+        if self.pending_small[fli].is_empty() {
+            return false;
+        }
+        let t0 = Instant::now();
+        let mut budget = self.config.sweep_budget.max(1);
+        while budget > 0 && self.free_lists[fli].is_empty() {
+            let Some(id) = self.pending_small[fli].pop_front() else {
+                break;
+            };
+            if self.sweep_pending_block(id) {
+                budget -= 1;
+            }
+        }
+        self.lazy_totals.sweep_time += t0.elapsed();
+        !self.free_lists[fli].is_empty()
+    }
+
+    /// Sweeps up to one budget's worth of pending large blocks, releasing
+    /// dead ones' pages back to the pool.
+    fn sweep_pending_large(&mut self) {
+        if self.pending_large.is_empty() {
+            return;
+        }
+        let t0 = Instant::now();
+        let mut budget = self.config.sweep_budget.max(1);
+        while budget > 0 {
+            let Some(id) = self.pending_large.pop_front() else {
+                break;
+            };
+            if self.sweep_pending_block(id) {
+                budget -= 1;
+            }
+        }
+        self.lazy_totals.sweep_time += t0.elapsed();
+    }
+
+    /// Completes any outstanding lazy-sweep snapshot, sweeping every
+    /// pending block now. Returns the number of blocks swept by this call.
+    ///
+    /// The escape hatch for code that needs the post-sweep heap in full —
+    /// exact page/block accounting before a census or dump, and the
+    /// collector before it clears mark bits for the next cycle. A no-op
+    /// (returning 0) when nothing is pending, so callers need not check.
+    pub fn finish_sweep(&mut self) -> u32 {
+        if self.pending_blocks == 0 {
+            return 0;
+        }
+        let t0 = Instant::now();
+        let mut swept = 0;
+        let ids: Vec<BlockId> = self
+            .blocks
+            .iter()
+            .flatten()
+            .filter(|b| b.pending)
+            .map(|b| b.id)
+            .collect();
+        for id in ids {
+            if self.sweep_pending_block(id) {
+                swept += 1;
+            }
+        }
+        for q in &mut self.pending_small {
+            q.clear();
+        }
+        self.pending_large.clear();
+        debug_assert_eq!(self.pending_blocks, 0, "every pending block swept");
+        self.lazy_totals.sweep_time += t0.elapsed();
+        swept
+    }
+
+    /// Blocks currently awaiting their deferred sweep (0 outside lazy mode
+    /// or once the allocator has caught up).
+    pub fn pending_sweep_blocks(&self) -> u32 {
+        self.pending_blocks
+    }
+
+    /// The mark-bitmap epoch: how many lazy snapshots this heap has taken.
+    /// Pending blocks hold mark bits from the current epoch.
+    pub fn sweep_epoch(&self) -> u64 {
+        self.sweep_epoch
+    }
+
+    /// Cumulative realized deferred-sweep work; see [`LazySweepStats`].
+    pub fn lazy_sweep_totals(&self) -> LazySweepStats {
+        self.lazy_totals
+    }
+
     /// The live objects whose block owns `page` (the card-scanning helper
     /// for generational mode: a dirty page's old composite objects must be
     /// rescanned at a minor collection).
@@ -795,6 +1157,7 @@ impl Heap {
         block
             .allocated
             .iter_ones()
+            .filter(|&slot| self.slot_live(block, slot))
             .map(|slot| ObjRef {
                 block: block.id(),
                 index: slot,
@@ -806,17 +1169,28 @@ impl Heap {
     }
 
     /// Is the object in the old generation?
+    ///
+    /// Survivors on pending (lazily unswept) blocks count as old: every
+    /// sweep survivor is tenured, so the deferred sweep will make it so.
     pub fn is_old(&self, obj: ObjRef) -> bool {
-        self.block(obj.block).is_some_and(|b| b.is_old(obj.index))
+        self.block(obj.block)
+            .is_some_and(|b| b.is_old(obj.index) || b.pending)
     }
 
     /// Counts (young, old) live objects — a full pass, for diagnostics.
+    ///
+    /// Pending (lazily unswept) blocks report their survivors as old: every
+    /// sweep survivor is tenured, so the deferred sweep will leave exactly
+    /// that census behind.
     pub fn generation_census(&self) -> (u64, u64) {
         let mut young = 0;
         let mut old = 0;
         for block in self.blocks() {
             for slot in block.allocated.iter_ones() {
-                if block.old.get(slot) {
+                if !self.slot_live(block, slot) {
+                    continue;
+                }
+                if block.pending || block.old.get(slot) {
                     old += 1;
                 } else {
                     young += 1;
@@ -853,6 +1227,18 @@ impl Heap {
     /// [`HeapError::NotAnObject`] if `addr` is not an object base;
     /// [`HeapError::DoubleFree`] if the slot is already free.
     pub fn free_object(&mut self, addr: Addr) -> Result<(), HeapError> {
+        // A pending block must realize its deferred sweep first: the
+        // slot's fate was decided at the snapshot, and explicit free is
+        // defined against the post-sweep state (freeing an object the
+        // collector already condemned reports `NotAnObject`).
+        if let Some((b, _)) = self.slot_of(addr) {
+            if b.pending {
+                let id = b.id();
+                let t0 = Instant::now();
+                self.sweep_pending_block(id);
+                self.lazy_totals.sweep_time += t0.elapsed();
+            }
+        }
         let (block, slot) = match self.slot_of(addr) {
             Some((b, s)) if b.slot_base(s) == addr => (b.id(), s),
             _ => return Err(HeapError::NotAnObject { addr }),
@@ -887,15 +1273,29 @@ impl Heap {
 
     /// Iterates over all live objects.
     pub fn live_objects(&self) -> impl Iterator<Item = ObjRef> + '_ {
-        self.blocks().flat_map(|b| {
-            b.allocated.iter_ones().map(move |slot| ObjRef {
-                block: b.id(),
-                index: slot,
-                base: b.slot_base(slot),
-                bytes: b.obj_bytes(),
-                kind: b.kind(),
-            })
+        self.blocks().flat_map(move |b| {
+            b.allocated
+                .iter_ones()
+                .filter(move |&slot| self.slot_live(b, slot))
+                .map(move |slot| ObjRef {
+                    block: b.id(),
+                    index: slot,
+                    base: b.slot_base(slot),
+                    bytes: b.obj_bytes(),
+                    kind: b.kind(),
+                })
         })
+    }
+
+    /// Live objects in one block, honouring any pending lazy-sweep
+    /// snapshot (a pending block's allocation bits still include condemned
+    /// objects; this counts only the survivors).
+    pub fn live_objects_in(&self, block: &Block) -> u32 {
+        if !block.pending {
+            return block.live_objects();
+        }
+        let (live, _) = survivor_census(block, self.pending_minor);
+        live
     }
 
     /// Marks the start of a collection cycle for allocation-rate
@@ -952,10 +1352,11 @@ impl Heap {
                     live_objects: 0,
                     free_slots: 0,
                 });
+            let live = self.live_objects_in(b);
             row.blocks += 1;
             row.pages += b.npages();
-            row.live_objects += b.live_objects();
-            row.free_slots += b.slots().saturating_sub(b.live_objects());
+            row.live_objects += live;
+            row.free_slots += b.slots().saturating_sub(live);
         }
         rows.into_values().collect()
     }
@@ -999,7 +1400,7 @@ mod tests {
             heap_base: Addr::new(0x0003_0000),
             max_heap_bytes: 8 << 20,
             growth_pages: 16,
-            freelist_policy: FreeListPolicy::AddressOrdered,
+            ..HeapConfig::default()
         });
         (space, heap)
     }
@@ -1340,6 +1741,291 @@ mod tests {
 }
 
 #[cfg(test)]
+mod lazy_sweep_tests {
+    use super::*;
+    use gc_vmspace::Endian;
+
+    fn setup() -> (AddressSpace, Heap) {
+        let space = AddressSpace::new(Endian::Big);
+        let heap = Heap::new(HeapConfig {
+            heap_base: Addr::new(0x0003_0000),
+            max_heap_bytes: 8 << 20,
+            growth_pages: 16,
+            ..HeapConfig::default()
+        });
+        (space, heap)
+    }
+
+    fn mark(heap: &mut Heap, addr: Addr) {
+        let obj = heap.object_containing(addr).expect("marked object is live");
+        heap.set_marked(obj);
+    }
+
+    /// The torture suite's census-consistency invariant, checkable while
+    /// blocks are pending: the object walk, the `bytes_live` counter, the
+    /// generation census, and the size-class census all describe the same
+    /// heap.
+    fn assert_census_consistent(heap: &Heap) {
+        let (mut objs, mut bytes) = (0u64, 0u64);
+        for o in heap.live_objects() {
+            objs += 1;
+            bytes += u64::from(o.bytes);
+        }
+        assert_eq!(heap.stats().bytes_live, bytes, "bytes_live vs object walk");
+        let (young, old) = heap.generation_census();
+        assert_eq!(young + old, objs, "generation census vs object walk");
+        let by_class: u64 = heap
+            .size_class_census()
+            .iter()
+            .map(|r| u64::from(r.live_objects))
+            .sum();
+        assert_eq!(by_class, objs, "size-class census vs object walk");
+    }
+
+    #[test]
+    fn snapshot_defers_work_but_reports_exact_counts() {
+        let (mut space, mut heap) = setup();
+        let addrs: Vec<Addr> = (0..8)
+            .map(|_| {
+                heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+                    .unwrap()
+            })
+            .collect();
+        for (i, &a) in addrs.iter().enumerate() {
+            if i % 2 == 0 {
+                mark(&mut heap, a);
+            }
+        }
+        let stats = heap.sweep_lazy();
+        assert_eq!(stats.objects_freed, 4);
+        assert_eq!(stats.bytes_freed, 4 * 16);
+        assert_eq!(stats.objects_live, 4);
+        assert_eq!(stats.blocks_deferred, 1);
+        assert_eq!(heap.pending_sweep_blocks(), 1);
+        assert_eq!(heap.sweep_epoch(), 1);
+        // No reclamation work has run yet...
+        assert_eq!(heap.lazy_sweep_totals().objects_freed, 0);
+        // ...yet every liveness view already shows the post-sweep heap.
+        for (i, &a) in addrs.iter().enumerate() {
+            assert_eq!(heap.object_containing(a).is_some(), i % 2 == 0);
+        }
+        assert_census_consistent(&heap);
+    }
+
+    #[test]
+    fn allocation_slow_path_reloads_the_free_list() {
+        let (mut space, mut heap) = setup();
+        let addrs: Vec<Addr> = (0..8)
+            .map(|_| {
+                heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+                    .unwrap()
+            })
+            .collect();
+        for &a in addrs.iter().skip(4) {
+            mark(&mut heap, a);
+        }
+        heap.sweep_lazy();
+        assert_eq!(heap.pending_sweep_blocks(), 1);
+        // The next allocation of this class sweeps the pending block and
+        // recycles the lowest condemned slot (address-ordered policy).
+        let fresh = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        assert_eq!(fresh, addrs[0], "condemned slot recycled");
+        assert_eq!(heap.pending_sweep_blocks(), 0);
+        let totals = heap.lazy_sweep_totals();
+        assert_eq!(totals.blocks_swept, 1);
+        assert_eq!(totals.objects_freed, 4);
+        assert_census_consistent(&heap);
+    }
+
+    #[test]
+    fn finish_sweep_completes_and_matches_eager() {
+        // The same trace through an eager heap and a lazy heap ends in the
+        // same state: identical sweep tallies, live sets, and page counts.
+        let trace = |lazy: bool| {
+            let (mut space, mut heap) = setup();
+            let mut addrs = Vec::new();
+            for i in 0..60u32 {
+                let bytes = 8 + (i % 5) * 24;
+                let kind = if i % 7 == 0 {
+                    ObjectKind::Atomic
+                } else {
+                    ObjectKind::Composite
+                };
+                addrs.push(
+                    heap.alloc(&mut space, bytes, kind, &mut accept_all)
+                        .unwrap(),
+                );
+            }
+            // A couple of large objects, one condemned.
+            addrs.push(
+                heap.alloc(&mut space, 20_000, ObjectKind::Composite, &mut accept_all)
+                    .unwrap(),
+            );
+            addrs.push(
+                heap.alloc(&mut space, 9_000, ObjectKind::Atomic, &mut accept_all)
+                    .unwrap(),
+            );
+            for (i, &a) in addrs.iter().enumerate() {
+                if i % 3 == 0 {
+                    mark(&mut heap, a);
+                }
+            }
+            let stats = if lazy {
+                heap.sweep_lazy()
+            } else {
+                heap.sweep()
+            };
+            let swept = if lazy { heap.finish_sweep() } else { 0 };
+            let mut live: Vec<u32> = heap.live_objects().map(|o| o.base.raw()).collect();
+            live.sort_unstable();
+            (stats, swept, live, heap.stats(), heap.lazy_sweep_totals())
+        };
+        let (eager, _, eager_live, eager_heap, _) = trace(false);
+        let (lazy, swept, lazy_live, lazy_heap, totals) = trace(true);
+        assert_eq!(lazy.objects_freed, eager.objects_freed);
+        assert_eq!(lazy.bytes_freed, eager.bytes_freed);
+        assert_eq!(lazy.objects_live, eager.objects_live);
+        assert_eq!(lazy.bytes_live, eager.bytes_live);
+        assert_eq!(lazy.objects_promoted, eager.objects_promoted);
+        assert_eq!(u32::try_from(totals.blocks_swept).unwrap(), swept);
+        assert_eq!(totals.blocks_released, u64::from(eager.blocks_released));
+        assert_eq!(totals.objects_freed, eager.objects_freed);
+        assert_eq!(totals.bytes_freed, eager.bytes_freed);
+        assert_eq!(lazy_live, eager_live);
+        assert_eq!(lazy_heap, eager_heap);
+    }
+
+    #[test]
+    fn slow_path_only_sweeps_the_requested_class() {
+        let (mut space, mut heap) = setup();
+        let a = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let b = heap
+            .alloc(&mut space, 100, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        mark(&mut heap, a);
+        mark(&mut heap, b);
+        heap.sweep_lazy();
+        assert_eq!(heap.pending_sweep_blocks(), 2);
+        heap.alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        assert_eq!(
+            heap.pending_sweep_blocks(),
+            1,
+            "the other class's block stays pending"
+        );
+        assert_census_consistent(&heap);
+    }
+
+    #[test]
+    fn out_of_memory_finishes_the_sweep_before_failing() {
+        let space = &mut AddressSpace::new(Endian::Big);
+        let mut heap = Heap::new(HeapConfig {
+            heap_base: Addr::new(0x0003_0000),
+            max_heap_bytes: 16 * u64::from(PAGE_BYTES),
+            growth_pages: 4,
+            ..HeapConfig::default()
+        });
+        // Fill 12 pages with small garbage (16-byte class, 256 slots/page).
+        for _ in 0..(12 * 256) {
+            heap.alloc(space, 16, ObjectKind::Composite, &mut accept_all)
+                .unwrap();
+        }
+        heap.sweep_lazy();
+        assert_eq!(heap.pending_sweep_blocks(), 12);
+        // An 8-page object does not fit in the 4 never-used pages; the
+        // allocator must complete the deferred sweep instead of reporting
+        // out-of-memory.
+        let big = heap
+            .alloc(
+                space,
+                8 * PAGE_BYTES,
+                ObjectKind::Composite,
+                &mut accept_all,
+            )
+            .expect("finish_sweep releases the pages this request needs");
+        assert!(heap.object_containing(big).is_some());
+        assert_eq!(heap.pending_sweep_blocks(), 0);
+        assert_eq!(heap.lazy_sweep_totals().blocks_released, 12);
+    }
+
+    #[test]
+    fn explicit_free_realizes_the_pending_sweep_first() {
+        let (mut space, mut heap) = setup();
+        let keep = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let doomed = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        mark(&mut heap, keep);
+        heap.sweep_lazy();
+        // Freeing an object the collector already condemned reports the
+        // same error an eager sweep would: the slot is gone.
+        assert_eq!(
+            heap.free_object(doomed),
+            Err(HeapError::DoubleFree { addr: doomed })
+        );
+        assert_eq!(heap.pending_sweep_blocks(), 0, "the block got swept");
+        heap.free_object(keep).expect("survivor frees cleanly");
+        assert_eq!(heap.stats().bytes_live, 0);
+    }
+
+    #[test]
+    fn minor_snapshot_defers_promotion_but_censuses_agree() {
+        let (mut space, mut heap) = setup();
+        let a = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        mark(&mut heap, a);
+        heap.sweep(); // tenure `a`
+        let young_survivor = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let young_garbage = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        heap.clear_marks();
+        mark(&mut heap, young_survivor);
+        let stats = heap.sweep_young_lazy();
+        assert_eq!(stats.objects_live, 2, "old `a` + marked young");
+        assert_eq!(stats.objects_freed, 1);
+        assert_eq!(stats.objects_promoted, 1);
+        assert!(heap.object_containing(a).is_some());
+        assert!(heap.object_containing(young_survivor).is_some());
+        assert!(heap.object_containing(young_garbage).is_none());
+        // Pending survivors census as old: that is what the deferred sweep
+        // leaves behind.
+        assert_eq!(heap.generation_census(), (0, 2));
+        assert_census_consistent(&heap);
+        heap.finish_sweep();
+        assert_eq!(heap.generation_census(), (0, 2));
+        assert_eq!(heap.lazy_sweep_totals().objects_promoted, 1);
+        let obj = heap.object_containing(young_survivor).unwrap();
+        assert!(heap.is_old(obj), "deferred sweep tenured the survivor");
+    }
+
+    #[test]
+    fn eager_sweep_supersedes_a_pending_snapshot() {
+        let (mut space, mut heap) = setup();
+        let a = heap
+            .alloc(&mut space, 16, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        mark(&mut heap, a);
+        heap.sweep_lazy();
+        assert_eq!(heap.pending_sweep_blocks(), 1);
+        let stats = heap.sweep();
+        assert_eq!(heap.pending_sweep_blocks(), 0);
+        assert_eq!(stats.objects_live, 1);
+        assert_eq!(stats.blocks_deferred, 0);
+        assert_census_consistent(&heap);
+    }
+}
+
+#[cfg(test)]
 mod quarantine_tests {
     use super::*;
     use crate::accept_all;
@@ -1351,7 +2037,7 @@ mod quarantine_tests {
             heap_base: Addr::new(0x0003_0000),
             max_heap_bytes: 8 << 20,
             growth_pages: 16,
-            freelist_policy: FreeListPolicy::AddressOrdered,
+            ..HeapConfig::default()
         });
         (space, heap)
     }

@@ -177,6 +177,9 @@ impl Profile {
         if let Some(threads) = opts.mark_threads {
             gc.mark_threads = threads;
         }
+        if let Some(lazy) = opts.lazy_sweep {
+            gc.lazy_sweep = lazy;
+        }
         tweak(&mut gc);
         let config = MachineConfig {
             endian: self.endian,

@@ -59,6 +59,9 @@ pub struct BuildOptions {
     /// Mark-phase worker threads; `None` inherits the collector default
     /// (1, or the `GC_MARK_THREADS` environment override).
     pub mark_threads: Option<u32>,
+    /// Lazy (allocation-driven) sweeping; `None` inherits the collector
+    /// default (eager, or the `GC_LAZY_SWEEP` environment override).
+    pub lazy_sweep: Option<bool>,
 }
 
 impl Default for BuildOptions {
@@ -68,6 +71,7 @@ impl Default for BuildOptions {
             blacklisting: true,
             pointer_policy: gc_core::PointerPolicy::AllInterior,
             mark_threads: None,
+            lazy_sweep: None,
         }
     }
 }

@@ -120,6 +120,9 @@ impl ProgramT {
             }
         }
         let retained = reclaimed.iter().filter(|&&r| !r).count() as u32;
+        // Lazy sweeping defers empty-block release to allocation time; the
+        // report's page accounting needs the settled heap.
+        m.gc_mut().finish_sweep();
         let heap = m.gc().heap().stats();
         ProgramTReport {
             lists: self.lists,
