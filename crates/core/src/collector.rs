@@ -465,15 +465,11 @@ impl Collector {
                 self.blacklist.begin_cycle(gc_no);
                 self.heap.clear_marks();
                 self.cards.clear();
-                let mut marker = Marker::new(
-                    &self.space,
-                    &mut self.heap,
-                    &mut self.blacklist,
-                    &self.config,
-                );
+                let mut marker =
+                    Marker::new(&self.space, &self.heap, &mut self.blacklist, &self.config);
                 marker.run_roots_only();
                 let stack = marker.take_stack();
-                let out = marker.out;
+                let out = marker.outcome();
                 self.inc = Some(IncState {
                     gc_no,
                     reason,
@@ -494,16 +490,12 @@ impl Collector {
                 (false, gc_no)
             }
             Some(state) => {
-                let mut marker = Marker::new(
-                    &self.space,
-                    &mut self.heap,
-                    &mut self.blacklist,
-                    &self.config,
-                );
+                let mut marker =
+                    Marker::new(&self.space, &self.heap, &mut self.blacklist, &self.config);
                 marker.set_stack(std::mem::take(&mut state.stack));
                 let done = marker.drain_budget(self.config.incremental_budget);
                 state.stack = marker.take_stack();
-                state.out.merge(marker.out);
+                state.out.merge(marker.outcome());
                 state.phases.mark += t0.elapsed();
                 (done, state.gc_no)
             }
@@ -541,12 +533,8 @@ impl Collector {
         } = state;
         let finalizers_ready;
         {
-            let mut marker = Marker::new(
-                &self.space,
-                &mut self.heap,
-                &mut self.blacklist,
-                &self.config,
-            );
+            let mut marker =
+                Marker::new(&self.space, &self.heap, &mut self.blacklist, &self.config);
             // The finish's root and dirty-page rescan plus final drain all
             // count as marking: they complete the tracing the increments
             // started.
@@ -570,7 +558,7 @@ impl Collector {
             }
             phases.finalize = t_phase.elapsed();
             finalizers_ready = doomed.len() as u32;
-            acc.merge(marker.out);
+            acc.merge(marker.outcome());
         }
         let t_phase = Instant::now();
         self.clear_dead_links(false);
@@ -606,6 +594,8 @@ impl Collector {
             blacklist_pages: self.blacklist.len(),
             objects_marked: acc.objects_marked,
             bytes_marked: acc.bytes_marked,
+            resolve_hits: acc.resolve_hits,
+            resolve_misses: acc.resolve_misses,
             finalizers_ready,
             sweep,
             phases,
@@ -656,12 +646,8 @@ impl Collector {
         let mut single_worker = None;
         let mut acc;
         {
-            let mut marker = Marker::new(
-                &self.space,
-                &mut self.heap,
-                &mut self.blacklist,
-                &self.config,
-            );
+            let mut marker =
+                Marker::new(&self.space, &self.heap, &mut self.blacklist, &self.config);
             if minor {
                 marker = marker.minor();
             }
@@ -685,7 +671,7 @@ impl Collector {
                 }
                 let seeds = marker.take_stack();
                 let vicinity = marker.vicinity();
-                acc = marker.out;
+                acc = marker.outcome();
                 drop(marker);
                 let par = par_mark::par_drain(
                     &self.space,
@@ -721,14 +707,14 @@ impl Collector {
                 // serial one. In the latter case the drain is still
                 // reported as one parallel worker so telemetry keeps its
                 // shape across machines.
-                let before = marker.out;
+                let before = marker.outcome();
                 let t_drain = Instant::now();
                 marker.drain_all();
                 if minor {
                     let dirty: Vec<PageIdx> = self.cards.iter().map(|&p| PageIdx::new(p)).collect();
                     marker.scan_dirty_old(dirty);
                 }
-                acc = marker.out;
+                acc = marker.outcome();
                 if requested > 1 {
                     single_worker = Some(MarkWorkerStats {
                         objects_marked: acc.objects_marked - before.objects_marked,
@@ -757,12 +743,8 @@ impl Collector {
         // fresh marker; its counters merge into the cycle's totals).
         let finalizers_ready = {
             let t_phase = Instant::now();
-            let mut marker = Marker::new(
-                &self.space,
-                &mut self.heap,
-                &mut self.blacklist,
-                &self.config,
-            );
+            let mut marker =
+                Marker::new(&self.space, &self.heap, &mut self.blacklist, &self.config);
             if minor {
                 marker = marker.minor();
             }
@@ -778,7 +760,7 @@ impl Collector {
                     marker.mark_object(obj);
                 }
             }
-            acc.merge(marker.out);
+            acc.merge(marker.outcome());
             phases.finalize = t_phase.elapsed();
             doomed.len() as u32
         };
@@ -817,6 +799,8 @@ impl Collector {
             blacklist_pages: self.blacklist.len(),
             objects_marked: out.objects_marked,
             bytes_marked: out.bytes_marked,
+            resolve_hits: out.resolve_hits,
+            resolve_misses: out.resolve_misses,
             finalizers_ready,
             sweep,
             phases,
@@ -853,6 +837,8 @@ impl Collector {
             objects_marked: c.objects_marked,
             objects_freed: c.sweep.objects_freed,
             bytes_freed: c.sweep.bytes_freed,
+            resolve_hits: c.resolve_hits,
+            resolve_misses: c.resolve_misses,
         });
     }
 
@@ -1269,6 +1255,38 @@ mod tests {
             let a = gc.alloc(64, ObjectKind::Composite).unwrap();
             assert_ne!(a.page(), Addr::new(junk).page());
         }
+    }
+
+    #[test]
+    fn blacklist_vicinity_is_asymmetric_above_only() {
+        // §2 blacklists candidates that "could conceivably become valid
+        // object addresses as a result of later allocation". The heap only
+        // ever expands upward from `heap_base`, so the vicinity extends
+        // `growth_window_pages` above the break but **not** below the
+        // lowest heap address: a below-heap integer can never become
+        // valid, and blacklisting its page would only poison allocator-
+        // irrelevant pages (with the default window, all the way down to
+        // address 0). See `Marker::new` and EXPERIMENTS.md.
+        let mut gc = setup(small_config());
+        let below = 0x10_0000u32 - 2 * PAGE_BYTES + 16;
+        let above = 0x10_0000u32 + 64 * PAGE_BYTES + 16;
+        gc.space_mut().write_u32(root_slot(0), below).unwrap();
+        gc.space_mut().write_u32(root_slot(1), above).unwrap();
+        gc.collect();
+        assert!(
+            gc.blacklist().contains(Addr::new(above).page()),
+            "a candidate above the break, within the growth window, could \
+             become valid and must be blacklisted"
+        );
+        assert!(
+            !gc.blacklist().contains(Addr::new(below).page()),
+            "a candidate below the heap can never become valid and must \
+             not be blacklisted"
+        );
+        // The asymmetry gates only blacklist insertion; the below-heap
+        // word is simply not in the vicinity at all.
+        let stats = gc.stats().last.expect("collected");
+        assert!(stats.false_refs_near_heap >= 1);
     }
 
     #[test]

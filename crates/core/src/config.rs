@@ -188,6 +188,18 @@ pub struct GcConfig {
     /// honours the `GC_LAZY_SWEEP` environment variable (`1` enables) so a
     /// whole test run can be switched externally.
     pub lazy_sweep: bool,
+    /// Consult a small direct-mapped page → block resolve cache
+    /// ([`PageResolveCache`](gc_heap::PageResolveCache)) during candidate
+    /// resolution in the mark phase (one cache in the serial marker,
+    /// one per worker in a parallel drain). Bit-identical to the uncached
+    /// path — same mark set, counters, blacklist contents — the cache only
+    /// skips repeated page-map walks for same-page candidates; its
+    /// hit/miss counts are surfaced in
+    /// [`CollectionStats`](crate::CollectionStats) and the metrics
+    /// snapshot. The default honours the `GC_RESOLVE_CACHE` environment
+    /// variable (`0` disables) so a whole test run can be switched
+    /// externally.
+    pub resolve_cache: bool,
     /// Spawn exactly [`mark_threads`](GcConfig::mark_threads) workers even
     /// when that exceeds the machine's available cores. Normally the
     /// collector clamps the worker count to the cores present (an
@@ -224,6 +236,7 @@ impl Default for GcConfig {
             incremental_budget: 512,
             mark_threads: mark_threads_from_env(),
             lazy_sweep: lazy_sweep_from_env(),
+            resolve_cache: resolve_cache_from_env(),
             mark_threads_force: false,
             observer: None,
         }
@@ -245,6 +258,14 @@ fn mark_threads_from_env() -> u32 {
 /// Unset, empty or anything but `1` means eager.
 fn lazy_sweep_from_env() -> bool {
     std::env::var("GC_LAZY_SWEEP").is_ok_and(|v| v.trim() == "1")
+}
+
+/// The `GC_RESOLVE_CACHE` default: `0` turns the mark-phase resolve cache
+/// off for every default-constructed config, so CI can difference the
+/// cached and uncached paths externally. Unset, empty or anything but `0`
+/// means on (the cache is bit-identical, so on is the safe default).
+fn resolve_cache_from_env() -> bool {
+    !std::env::var("GC_RESOLVE_CACHE").is_ok_and(|v| v.trim() == "0")
 }
 
 impl GcConfig {
@@ -349,6 +370,9 @@ impl GcConfigBuilder {
         /// Enables lazy (allocation-driven) sweeping. See
         /// [`GcConfig::lazy_sweep`].
         lazy_sweep: bool,
+        /// Enables the mark-phase page-resolve cache. See
+        /// [`GcConfig::resolve_cache`].
+        resolve_cache: bool,
         /// Forces the exact worker count. See
         /// [`GcConfig::mark_threads_force`].
         mark_threads_force: bool,

@@ -21,7 +21,7 @@
 //! allocation".
 
 use crate::{Blacklist, GcConfig, PointerPolicy, RootClass};
-use gc_heap::{Heap, ObjRef, ObjectKind};
+use gc_heap::{Heap, ObjRef, ObjectKind, PageResolveCache};
 use gc_vmspace::{Addr, AddressSpace, Endian, Segment, PAGE_BYTES};
 
 /// Counters produced by one mark phase.
@@ -34,6 +34,12 @@ pub(crate) struct MarkOutcome {
     pub false_refs_near_heap: u64,
     pub objects_marked: u64,
     pub bytes_marked: u64,
+    /// Candidate resolutions answered by the page-resolve cache.
+    pub resolve_hits: u64,
+    /// Cached resolutions that had to walk the page map anyway (cold
+    /// entry, conflict eviction, or epoch flush). Both counters stay 0
+    /// with the cache disabled.
+    pub resolve_misses: u64,
 }
 
 impl MarkOutcome {
@@ -47,13 +53,81 @@ impl MarkOutcome {
         self.false_refs_near_heap += other.false_refs_near_heap;
         self.objects_marked += other.objects_marked;
         self.bytes_marked += other.bytes_marked;
+        self.resolve_hits += other.resolve_hits;
+        self.resolve_misses += other.resolve_misses;
     }
 }
 
+/// Scans one composite object's fields, feeding each candidate word to
+/// `consider`; returns the number of words examined (the caller's
+/// `heap_words` contribution).
+///
+/// This is **the** object-scan kernel: the serial drain, the budgeted
+/// incremental drain, the dirty-page rescan, and the parallel workers all
+/// route through it, so every scan path agrees on
+///
+/// * the typed fast path — an object with a registered
+///   [`Descriptor`](gc_heap::Descriptor) has only its declared pointer
+///   offsets read (the "less conservative" end of the paper's spectrum);
+///   its data words can never be misidentified as pointers, on *any* path
+///   (dirty-page rescans included);
+/// * the short-object guard — objects under one word (`bytes < 4`) scan
+///   zero words, typed or not;
+/// * the early stop — descriptor offsets ascend (guaranteed by
+///   [`Descriptor::pointer_offsets`](gc_heap::Descriptor::pointer_offsets)),
+///   so the first offset past the object's end proves no later one fits.
+///
+/// `pointer_offsets()` is iterated directly — no per-object collection of
+/// offsets — which is possible everywhere because every caller holds the
+/// heap by shared reference during marking.
+#[inline]
+pub(crate) fn scan_object_fields(
+    space: &AddressSpace,
+    heap: &Heap,
+    endian: Endian,
+    stride: usize,
+    obj: ObjRef,
+    mut consider: impl FnMut(u32),
+) -> u64 {
+    let bytes = space
+        .bytes_at(obj.base, obj.bytes)
+        .expect("live object memory is mapped");
+    if bytes.len() < 4 {
+        return 0;
+    }
+    if let Some(desc) = heap.descriptor_of(obj.base) {
+        let mut words = 0u64;
+        for off in desc.pointer_offsets() {
+            let byte_off = (off as usize) * 4;
+            if byte_off + 4 > bytes.len() {
+                break;
+            }
+            words += 1;
+            consider(endian.read_u32(&bytes[byte_off..byte_off + 4]));
+        }
+        return words;
+    }
+    // The word count is the loop's trip count; computing it up front keeps
+    // a counter increment out of the hot scan loop.
+    let words = ((bytes.len() - 4) / stride + 1) as u64;
+    for off in (0..=bytes.len() - 4).step_by(stride) {
+        consider(endian.read_u32(&bytes[off..off + 4]));
+    }
+    words
+}
+
 /// One mark phase over a frozen address space.
+///
+/// The heap is held by shared reference: marking's only heap write is the
+/// mark bit, set through
+/// [`set_marked_single`](Heap::set_marked_single) (the non-atomic
+/// shared-reference path — exactly equivalent to `&mut` marking while one
+/// thread marks, which is always the case here). That is what lets the
+/// scan loops borrow descriptors and page iterators straight from the heap
+/// with no per-object allocation.
 pub(crate) struct Marker<'a> {
     space: &'a AddressSpace,
-    heap: &'a mut Heap,
+    heap: &'a Heap,
     blacklist: &'a mut Blacklist,
     config: &'a GcConfig,
     endian: Endian,
@@ -65,13 +139,30 @@ pub(crate) struct Marker<'a> {
     /// traced; the young reachable set is found from roots plus dirty old
     /// objects.
     minor: bool,
+    /// Page-resolve cache ([`GcConfig::resolve_cache`]); `None` = off.
+    cache: Option<PageResolveCache>,
     pub(crate) out: MarkOutcome,
 }
 
 impl<'a> Marker<'a> {
+    /// The blacklist vicinity is deliberately **asymmetric**: it extends
+    /// [`growth_window_pages`](GcConfig::growth_window_pages) *above* the
+    /// heap break but not below `lo`. §2 blacklists invalid candidates
+    /// that "could conceivably become valid object addresses as a result
+    /// of later allocation" — and the heap only ever expands upward
+    /// (`next_expansion` starts at `heap_base` and is monotone; released
+    /// pages are recycled in place, never mapped below `lo`), so an
+    /// address below the heap can never become a valid object address.
+    /// Extending the window below would only blacklist pages the
+    /// allocator can never use — with the default 8192-page window it
+    /// would reach address 0 and blacklist every small integer, inflating
+    /// the blacklist without preventing a single false retention. The
+    /// dual-heap oracle confirms Table 1 is unchanged either way: `vic_lo`
+    /// only gates blacklist insertion, never candidate resolution (see
+    /// EXPERIMENTS.md).
     pub(crate) fn new(
         space: &'a AddressSpace,
-        heap: &'a mut Heap,
+        heap: &'a Heap,
         blacklist: &'a mut Blacklist,
         config: &'a GcConfig,
     ) -> Self {
@@ -90,8 +181,20 @@ impl<'a> Marker<'a> {
             vic_hi: hi.min(1 << 32),
             stack: Vec::new(),
             minor: false,
+            cache: config.resolve_cache.then(PageResolveCache::new),
             out: MarkOutcome::default(),
         }
+    }
+
+    /// The phase's counters with the resolve cache's hit/miss totals
+    /// folded in — what the collector should read instead of `out`.
+    pub(crate) fn outcome(&self) -> MarkOutcome {
+        let mut out = self.out;
+        if let Some(cache) = &self.cache {
+            out.resolve_hits = cache.hits();
+            out.resolve_misses = cache.misses();
+        }
+        out
     }
 
     /// Switches the marker to minor (young-only) mode.
@@ -143,25 +246,17 @@ impl<'a> Marker<'a> {
         only_old: bool,
         drain: bool,
     ) {
-        let space = self.space;
+        let (space, heap, endian) = (self.space, self.heap, self.endian);
+        let stride = self.config.scan_alignment.stride() as usize;
         for page in pages {
-            let objs = self.heap.objects_on_page(page);
-            for obj in objs {
-                if obj.kind != ObjectKind::Composite
-                    || (only_old && !self.heap.is_old(obj))
-                    || obj.bytes < 4
-                {
+            for obj in heap.objects_on_page(page) {
+                if obj.kind != ObjectKind::Composite || (only_old && !heap.is_old(obj)) {
                     continue;
                 }
-                let bytes = space
-                    .bytes_at(obj.base, obj.bytes)
-                    .expect("live object mapped");
-                let stride = self.config.scan_alignment.stride() as usize;
-                for off in (0..=bytes.len() - 4).step_by(stride) {
-                    let value = self.endian.read_u32(&bytes[off..off + 4]);
-                    self.out.heap_words += 1;
-                    self.consider(value, RootClass::Heap);
-                }
+                let words = scan_object_fields(space, heap, endian, stride, obj, |v| {
+                    self.consider(v, RootClass::Heap);
+                });
+                self.out.heap_words += words;
             }
             if drain {
                 self.drain();
@@ -207,7 +302,7 @@ impl<'a> Marker<'a> {
     /// Traces up to `budget` objects off the mark stack; returns `true`
     /// when the stack is empty (tracing complete).
     pub(crate) fn drain_budget(&mut self, budget: u32) -> bool {
-        let space = self.space;
+        let (space, heap, endian) = (self.space, self.heap, self.endian);
         let stride = self.config.scan_alignment.stride() as usize;
         let mut traced = 0;
         while traced < budget {
@@ -215,30 +310,10 @@ impl<'a> Marker<'a> {
                 return true;
             };
             traced += 1;
-            let bytes = space
-                .bytes_at(obj.base, obj.bytes)
-                .expect("live object mapped");
-            if bytes.len() < 4 {
-                continue;
-            }
-            if let Some(desc) = self.heap.descriptor_of(obj.base) {
-                let offsets: Vec<u32> = desc.pointer_offsets().collect();
-                for off in offsets {
-                    let byte_off = (off * 4) as usize;
-                    if byte_off + 4 > bytes.len() {
-                        break;
-                    }
-                    let value = self.endian.read_u32(&bytes[byte_off..byte_off + 4]);
-                    self.out.heap_words += 1;
-                    self.consider(value, RootClass::Heap);
-                }
-                continue;
-            }
-            for off in (0..=bytes.len() - 4).step_by(stride) {
-                let value = self.endian.read_u32(&bytes[off..off + 4]);
-                self.out.heap_words += 1;
-                self.consider(value, RootClass::Heap);
-            }
+            let words = scan_object_fields(space, heap, endian, stride, obj, |v| {
+                self.consider(v, RootClass::Heap);
+            });
+            self.out.heap_words += words;
         }
         self.stack.is_empty()
     }
@@ -310,7 +385,9 @@ impl<'a> Marker<'a> {
         if self.minor && self.heap.is_old(obj) {
             return;
         }
-        if self.heap.set_marked(obj) {
+        // One thread marks here, so the non-atomic shared-reference path
+        // is exactly `set_marked` without needing the heap mutably.
+        if self.heap.set_marked_single(obj) {
             self.out.objects_marked += 1;
             self.out.bytes_marked += u64::from(obj.bytes);
             if obj.kind == ObjectKind::Composite {
@@ -320,8 +397,11 @@ impl<'a> Marker<'a> {
     }
 
     /// Applies the pointer policy to an interior candidate.
-    fn resolve(&self, addr: Addr) -> Option<ObjRef> {
-        let obj = self.heap.object_containing(addr)?;
+    fn resolve(&mut self, addr: Addr) -> Option<ObjRef> {
+        let obj = match &mut self.cache {
+            Some(cache) => self.heap.object_containing_cached(addr, cache)?,
+            None => self.heap.object_containing(addr)?,
+        };
         let ok = match self.config.pointer_policy {
             PointerPolicy::AllInterior => true,
             PointerPolicy::FirstPage => addr.offset_from(obj.base) < PAGE_BYTES,
@@ -331,36 +411,13 @@ impl<'a> Marker<'a> {
     }
 
     fn drain(&mut self) {
-        let space = self.space;
+        let (space, heap, endian) = (self.space, self.heap, self.endian);
+        let stride = self.config.scan_alignment.stride() as usize;
         while let Some(obj) = self.stack.pop() {
-            let bytes = space
-                .bytes_at(obj.base, obj.bytes)
-                .expect("live object memory is mapped");
-            if bytes.len() < 4 {
-                continue;
-            }
-            // Typed objects carry complete pointer-location information
-            // (the "less conservative" end of the paper's spectrum): only
-            // their declared pointer words are considered.
-            if let Some(desc) = self.heap.descriptor_of(obj.base) {
-                let offsets: Vec<u32> = desc.pointer_offsets().collect();
-                for off in offsets {
-                    let byte_off = (off * 4) as usize;
-                    if byte_off + 4 > bytes.len() {
-                        break;
-                    }
-                    let value = self.endian.read_u32(&bytes[byte_off..byte_off + 4]);
-                    self.out.heap_words += 1;
-                    self.consider(value, RootClass::Heap);
-                }
-                continue;
-            }
-            let stride = self.config.scan_alignment.stride() as usize;
-            for off in (0..=bytes.len() - 4).step_by(stride) {
-                let value = self.endian.read_u32(&bytes[off..off + 4]);
-                self.out.heap_words += 1;
-                self.consider(value, RootClass::Heap);
-            }
+            let words = scan_object_fields(space, heap, endian, stride, obj, |v| {
+                self.consider(v, RootClass::Heap);
+            });
+            self.out.heap_words += words;
         }
     }
 }

@@ -30,11 +30,11 @@
 //! the children it did not spill — so the counter never under-reports
 //! outstanding work.
 
-use crate::mark::MarkOutcome;
+use crate::mark::{scan_object_fields, MarkOutcome};
 use crate::stats::MarkWorkerStats;
 use crate::worksteal::{InFlight, StealDeque};
 use crate::{GcConfig, PointerPolicy};
-use gc_heap::{Heap, ObjRef, ObjectKind};
+use gc_heap::{Heap, ObjRef, ObjectKind, PageResolveCache};
 use gc_vmspace::{Addr, AddressSpace, Endian, PAGE_BYTES};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -66,6 +66,8 @@ struct Shared<'a> {
     minor: bool,
     /// One worker total: mark bits may skip the atomic read-modify-write.
     single: bool,
+    /// Each worker keeps a private [`PageResolveCache`] when enabled.
+    resolve_cache: bool,
 }
 
 /// One worker's private results, merged deterministically after the join.
@@ -113,6 +115,7 @@ pub(crate) fn par_drain(
         vic_hi: vicinity.1,
         minor,
         single: nworkers == 1,
+        resolve_cache: config.resolve_cache,
     };
     let results: Vec<WorkerResult> = if nworkers == 1 {
         // One worker: run the drain inline on the calling thread with a
@@ -171,12 +174,22 @@ pub(crate) fn par_drain(
 fn drain_single(shared: &Shared<'_>, seeds: Vec<ObjRef>) -> WorkerResult {
     let start = Instant::now();
     let mut res = WorkerResult::default();
+    let mut cache = shared.resolve_cache.then(PageResolveCache::new);
     let mut local = seeds;
     while let Some(obj) = local.pop() {
-        scan_object(shared, obj, &mut local, &mut res);
+        scan_object(shared, obj, &mut local, &mut res, &mut cache);
     }
+    finish_cache(&mut res, cache);
     res.duration = start.elapsed();
     res
+}
+
+/// Folds a worker's private cache counters into its result.
+fn finish_cache(res: &mut WorkerResult, cache: Option<PageResolveCache>) {
+    if let Some(cache) = cache {
+        res.out.resolve_hits = cache.hits();
+        res.out.resolve_misses = cache.misses();
+    }
 }
 
 fn worker_loop(
@@ -188,6 +201,7 @@ fn worker_loop(
 ) -> WorkerResult {
     let start = Instant::now();
     let mut res = WorkerResult::default();
+    let mut cache = shared.resolve_cache.then(PageResolveCache::new);
     let mut local: Vec<ObjRef> = Vec::new();
     let mut am_hungry = false;
     let n = queues.len();
@@ -213,7 +227,7 @@ fn worker_loop(
                 }
                 local.extend(items);
                 while let Some(obj) = local.pop() {
-                    scan_object(shared, obj, &mut local, &mut res);
+                    scan_object(shared, obj, &mut local, &mut res, &mut cache);
                     // Spill the *bottom* of the stack (the older entries —
                     // roots of the largest unexplored subgraphs) when the
                     // stack is overfull, or as soon as any worker is
@@ -251,50 +265,48 @@ fn worker_loop(
     if am_hungry {
         hungry.fetch_sub(1, Ordering::Relaxed);
     }
+    finish_cache(&mut res, cache);
     res.duration = start.elapsed();
     res
 }
 
-/// The parallel twin of the serial marker's `drain` body for one object.
-fn scan_object(shared: &Shared<'_>, obj: ObjRef, local: &mut Vec<ObjRef>, res: &mut WorkerResult) {
-    let bytes = shared
-        .space
-        .bytes_at(obj.base, obj.bytes)
-        .expect("live object memory is mapped");
-    if bytes.len() < 4 {
-        return;
-    }
-    if let Some(desc) = shared.heap.descriptor_of(obj.base) {
-        for off in desc.pointer_offsets() {
-            let byte_off = (off * 4) as usize;
-            if byte_off + 4 > bytes.len() {
-                break;
-            }
-            let value = shared.endian.read_u32(&bytes[byte_off..byte_off + 4]);
-            res.out.heap_words += 1;
-            consider(shared, value, local, res);
-        }
-        return;
-    }
-    // The word count is the loop's trip count; adding it up front keeps a
-    // counter increment out of the hot scan loop.
-    res.out.heap_words += ((bytes.len() - 4) / shared.stride + 1) as u64;
-    for off in (0..=bytes.len() - 4).step_by(shared.stride) {
-        let value = shared.endian.read_u32(&bytes[off..off + 4]);
-        consider(shared, value, local, res);
-    }
+/// The parallel twin of the serial marker's `drain` body for one object:
+/// the same shared scan kernel, with candidates fed to the racing
+/// `consider`.
+fn scan_object(
+    shared: &Shared<'_>,
+    obj: ObjRef,
+    local: &mut Vec<ObjRef>,
+    res: &mut WorkerResult,
+    cache: &mut Option<PageResolveCache>,
+) {
+    let words = scan_object_fields(
+        shared.space,
+        shared.heap,
+        shared.endian,
+        shared.stride,
+        obj,
+        |value| consider(shared, value, local, res, cache),
+    );
+    res.out.heap_words += words;
 }
 
 /// Figure 2's `mark(p)`, racing against other workers on the mark bit.
 #[inline]
-fn consider(shared: &Shared<'_>, value: u32, local: &mut Vec<ObjRef>, res: &mut WorkerResult) {
+fn consider(
+    shared: &Shared<'_>,
+    value: u32,
+    local: &mut Vec<ObjRef>,
+    res: &mut WorkerResult,
+    cache: &mut Option<PageResolveCache>,
+) {
     let v = u64::from(value);
     if v < shared.vic_lo || v >= shared.vic_hi {
         return;
     }
     res.out.candidates_in_range += 1;
     let addr = Addr::new(value);
-    match resolve(shared, addr) {
+    match resolve(shared, addr, cache) {
         Some(obj) => {
             res.out.valid_pointers += 1;
             if shared.minor && shared.heap.is_old(obj) {
@@ -322,8 +334,15 @@ fn consider(shared: &Shared<'_>, value: u32, local: &mut Vec<ObjRef>, res: &mut 
     }
 }
 
-fn resolve(shared: &Shared<'_>, addr: Addr) -> Option<ObjRef> {
-    let obj = shared.heap.object_containing(addr)?;
+fn resolve(
+    shared: &Shared<'_>,
+    addr: Addr,
+    cache: &mut Option<PageResolveCache>,
+) -> Option<ObjRef> {
+    let obj = match cache {
+        Some(cache) => shared.heap.object_containing_cached(addr, cache)?,
+        None => shared.heap.object_containing(addr)?,
+    };
     let ok = match shared.policy {
         PointerPolicy::AllInterior => true,
         PointerPolicy::FirstPage => addr.offset_from(obj.base) < PAGE_BYTES,

@@ -151,6 +151,13 @@ pub struct CollectionStats {
     pub objects_marked: u64,
     /// Bytes marked live.
     pub bytes_marked: u64,
+    /// Candidate resolutions the mark phase's page-resolve cache answered
+    /// without a page-map walk (summed over all workers; 0 with
+    /// [`GcConfig::resolve_cache`](crate::GcConfig::resolve_cache) off).
+    pub resolve_hits: u64,
+    /// Cached candidate resolutions that walked the page map anyway (cold
+    /// or evicted entries; 0 with the cache off).
+    pub resolve_misses: u64,
     /// Finalizable objects that became ready this cycle.
     pub finalizers_ready: u32,
     /// Sweep results.
@@ -256,6 +263,8 @@ mod tests {
             blacklist_pages: 2,
             objects_marked: 7,
             bytes_marked: 56,
+            resolve_hits: 0,
+            resolve_misses: 0,
             finalizers_ready: 0,
             sweep: SweepStats::default(),
             phases: PhaseTimes::default(),

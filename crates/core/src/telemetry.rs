@@ -44,7 +44,12 @@ use std::time::Duration;
 /// `collection_end` event's `objects_freed` field. With lazy sweeping
 /// on, `pause_ns` no longer includes free-list reconstruction — that work
 /// is sampled in `lazy_sweep.batch_ns` instead.
-pub const METRICS_SCHEMA_VERSION: u32 = 3;
+///
+/// Version 4 added mark-phase resolve-cache telemetry: the
+/// `resolve_cache` config field, `last_collection.resolve_hits` /
+/// `last_collection.resolve_misses`, and the same two fields on the
+/// `collection_end` event (all 0 when the cache is disabled).
+pub const METRICS_SCHEMA_VERSION: u32 = 4;
 
 // ---------------------------------------------------------------------------
 // Phase timings
@@ -122,6 +127,13 @@ pub enum GcEvent {
         objects_freed: u64,
         /// Bytes reclaimed by the sweep.
         bytes_freed: u64,
+        /// Page-resolve cache hits during the mark phase (0 when
+        /// [`GcConfig::resolve_cache`](crate::GcConfig::resolve_cache) is
+        /// off).
+        resolve_hits: u64,
+        /// Page-resolve cache misses during the mark phase (0 when the
+        /// cache is off).
+        resolve_misses: u64,
     },
     /// An allocation took the slow path: it triggered collection work
     /// (threshold or out-of-memory retry) before returning.
@@ -244,9 +256,11 @@ impl GcEvent {
                 objects_marked,
                 objects_freed,
                 bytes_freed,
+                resolve_hits,
+                resolve_misses,
             } => {
                 fields.push_str(&format!(
-                    ",\"gc_no\":{gc_no},\"kind\":\"{kind}\",\"phases\":{},\"duration_ns\":{},\"objects_marked\":{objects_marked},\"objects_freed\":{objects_freed},\"bytes_freed\":{bytes_freed}",
+                    ",\"gc_no\":{gc_no},\"kind\":\"{kind}\",\"phases\":{},\"duration_ns\":{},\"objects_marked\":{objects_marked},\"objects_freed\":{objects_freed},\"bytes_freed\":{bytes_freed},\"resolve_hits\":{resolve_hits},\"resolve_misses\":{resolve_misses}",
                     phases.to_json(),
                     duration.as_nanos(),
                 ));
@@ -750,7 +764,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     let last = match &stats.last {
         None => "null".to_string(),
         Some(c) => format!(
-            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{},\"blocks_deferred\":{},\"parallel_mark\":{}}}",
+            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"resolve_hits\":{},\"resolve_misses\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{},\"blocks_deferred\":{},\"parallel_mark\":{}}}",
             c.gc_no,
             c.kind,
             c.reason,
@@ -764,6 +778,8 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
             c.newly_blacklisted,
             c.objects_marked,
             c.bytes_marked,
+            c.resolve_hits,
+            c.resolve_misses,
             c.finalizers_ready,
             c.sweep.objects_freed,
             c.sweep.bytes_freed,
@@ -816,7 +832,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     );
 
     let config_summary = format!(
-        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{},\"lazy_sweep\":{},\"sweep_budget\":{}}}",
+        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{},\"lazy_sweep\":{},\"sweep_budget\":{},\"resolve_cache\":{}}}",
         config.pointer_policy,
         config.scan_alignment,
         config.generational,
@@ -824,6 +840,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
         config.mark_threads,
         config.lazy_sweep,
         config.heap.sweep_budget,
+        config.resolve_cache,
     );
 
     // Lazy-sweep state: what is still pending, and the deferred work

@@ -434,10 +434,16 @@ fn mark_fingerprint(gc: &Collector, stats: &gc_core::CollectionStats) -> MarkFin
 
 /// Builds the graph, collects twice (the second cycle re-marks a heap with
 /// established mark history and an aged blacklist), and fingerprints both.
-fn wide_trace(spec: &WideGraphSpec, threads: u32, force: bool) -> [MarkFingerprint; 2] {
+fn wide_trace(
+    spec: &WideGraphSpec,
+    threads: u32,
+    force: bool,
+    resolve_cache: bool,
+) -> [MarkFingerprint; 2] {
     let mut gc = collector_with(|c| {
         c.mark_threads = threads;
         c.mark_threads_force = force;
+        c.resolve_cache = resolve_cache;
     });
     build_wide(&mut gc, spec);
     let first = gc.collect();
@@ -456,9 +462,9 @@ proptest! {
     /// is identical for 1, 2 and 4 workers.
     #[test]
     fn marking_is_thread_count_invariant(spec in arb_wide_graph()) {
-        let serial = wide_trace(&spec, 1, false);
+        let serial = wide_trace(&spec, 1, false, true);
         for threads in [2u32, 4] {
-            let parallel = wide_trace(&spec, threads, false);
+            let parallel = wide_trace(&spec, threads, false, true);
             prop_assert_eq!(
                 &serial, &parallel,
                 "{} mark threads diverged from serial", threads
@@ -472,12 +478,227 @@ proptest! {
     /// any observable result.
     #[test]
     fn forced_parallel_marking_is_thread_count_invariant(spec in arb_wide_graph()) {
-        let serial = wide_trace(&spec, 1, false);
+        let serial = wide_trace(&spec, 1, false, true);
         for threads in [2u32, 4] {
-            let parallel = wide_trace(&spec, threads, true);
+            let parallel = wide_trace(&spec, threads, true, true);
             prop_assert_eq!(
                 &serial, &parallel,
                 "{} forced workers diverged from serial", threads
+            );
+        }
+    }
+
+    /// The page-resolve cache is a pure memoization: every observable of
+    /// a collection is identical with it on and off, on the serial path
+    /// and under forced worker racing.
+    #[test]
+    fn marking_is_resolve_cache_invariant(spec in arb_wide_graph()) {
+        let cached = wide_trace(&spec, 1, false, true);
+        let uncached = wide_trace(&spec, 1, false, false);
+        prop_assert_eq!(&cached, &uncached, "serial cache-off diverged");
+        let par_cached = wide_trace(&spec, 4, true, true);
+        prop_assert_eq!(
+            &cached, &par_cached,
+            "forced 4-worker cache-on diverged"
+        );
+        let par_uncached = wide_trace(&spec, 4, true, false);
+        prop_assert_eq!(
+            &cached, &par_uncached,
+            "forced 4-worker cache-off diverged"
+        );
+    }
+}
+
+/// A typed+untyped object graph. Every object has `sizes[i]` field words;
+/// object `i` is *typed* iff `typed[i]`, in which case only the words
+/// whose bit is set in `masks[i]` (and that fall inside the object) are
+/// declared pointer words — everything else is data the collector must
+/// not trace. Untyped objects trace every word.
+#[derive(Debug, Clone)]
+struct TypedGraphSpec {
+    sizes: Vec<u8>,
+    typed: Vec<bool>,
+    masks: Vec<u8>,
+    edges: Vec<(usize, usize, u8)>,
+    roots: Vec<usize>,
+    /// Post-tenure victim placements: `(root_index, word)` — a fresh
+    /// unrooted object's address is stored into that word of the
+    /// `roots[root_index]`-th object, through the write barrier.
+    stores: Vec<(usize, u8)>,
+}
+
+fn arb_typed_graph() -> impl Strategy<Value = TypedGraphSpec> {
+    (3usize..32).prop_flat_map(|n| {
+        (
+            (
+                proptest::collection::vec(2u8..=6, n..n + 1),
+                proptest::collection::vec(any::<bool>(), n..n + 1),
+                proptest::collection::vec(any::<u8>(), n..n + 1),
+            ),
+            (
+                proptest::collection::vec((0..n, 0..n, 0u8..6), 0..n * 2),
+                proptest::collection::vec(0..n, 1..6),
+                proptest::collection::vec((0..8usize, 0u8..6), 0..n),
+            ),
+        )
+            .prop_map(
+                |((sizes, typed, masks), (edges, roots, stores))| TypedGraphSpec {
+                    sizes,
+                    typed,
+                    masks,
+                    edges,
+                    roots,
+                    stores,
+                },
+            )
+    })
+}
+
+impl TypedGraphSpec {
+    /// May word `w` of object `i` hold a traced pointer?
+    fn is_pointer_word(&self, i: usize, w: u8) -> bool {
+        w < self.sizes[i] && (!self.typed[i] || self.masks[i] & (1 << w) != 0)
+    }
+}
+
+/// Model reachability: the final value of each (object, word) is the last
+/// edge written there, and it is traced only through pointer words.
+fn reachable_typed(spec: &TypedGraphSpec) -> HashSet<usize> {
+    let mut fields: std::collections::HashMap<(usize, u8), usize> =
+        std::collections::HashMap::new();
+    for &(f, t, field) in &spec.edges {
+        let w = field % spec.sizes[f];
+        fields.insert((f, w), t);
+    }
+    let mut seen: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = spec.roots.clone();
+    while let Some(i) = stack.pop() {
+        if seen.insert(i) {
+            for (&(f, w), &t) in &fields {
+                if f == i && spec.is_pointer_word(i, w) && !seen.contains(&t) {
+                    stack.push(t);
+                }
+            }
+        }
+    }
+    seen
+}
+
+fn build_typed(gc: &mut Collector, spec: &TypedGraphSpec) -> Vec<Addr> {
+    use gc_heap::Descriptor;
+    let objs: Vec<Addr> = (0..spec.sizes.len())
+        .map(|i| {
+            let words = u32::from(spec.sizes[i]);
+            if spec.typed[i] {
+                let offsets: Vec<u32> = (0..spec.sizes[i])
+                    .filter(|&w| spec.masks[i] & (1 << w) != 0)
+                    .map(u32::from)
+                    .collect();
+                let desc = gc.register_descriptor(Descriptor::with_pointers_at(words, &offsets));
+                gc.alloc_typed(words * 4, desc).unwrap()
+            } else {
+                gc.alloc(words * 4, ObjectKind::Composite).unwrap()
+            }
+        })
+        .collect();
+    for &(f, t, field) in &spec.edges {
+        let w = field % spec.sizes[f];
+        gc.space_mut()
+            .write_u32(objs[f] + u32::from(w) * 4, objs[t].raw())
+            .unwrap();
+    }
+    for (i, &r) in spec.roots.iter().enumerate() {
+        gc.space_mut()
+            .write_u32(Addr::new(DATA_BASE) + (i as u32) * 4, objs[r].raw())
+            .unwrap();
+    }
+    objs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact reachability over typed+untyped graphs: with clean roots,
+    /// precisely the model-reachable objects survive a full collection —
+    /// typed data words never retain, typed pointer words always trace.
+    /// Holds identically for serial, forced-parallel, and cache-off
+    /// marking (one shared scan kernel).
+    #[test]
+    fn typed_graphs_exactly_reachable_survive(spec in arb_typed_graph()) {
+        let expect = reachable_typed(&spec);
+        for (threads, force, cache) in [(1u32, false, true), (4, true, true), (1, false, false)] {
+            let mut gc = collector_with(|c| {
+                c.mark_threads = threads;
+                c.mark_threads_force = force;
+                c.resolve_cache = cache;
+            });
+            let objs = build_typed(&mut gc, &spec);
+            gc.collect();
+            for (i, &obj) in objs.iter().enumerate() {
+                prop_assert_eq!(
+                    gc.is_live(obj),
+                    expect.contains(&i),
+                    "object {} (typed={}, threads={}, cache={})",
+                    i, spec.typed[i], threads, cache
+                );
+            }
+        }
+    }
+
+    /// Full and minor collections agree on typed layouts: a young object
+    /// stored into a tenured host's word — through the write barrier, so
+    /// the card is dirty — survives the next collection iff that word is
+    /// a traced pointer word, identically in generational and
+    /// stop-the-world mode. (Before the shared scan kernel, the minor
+    /// path scanned typed hosts conservatively and kept every victim.)
+    #[test]
+    fn typed_victims_agree_full_vs_minor(spec in arb_typed_graph()) {
+        let run = |generational: bool| -> Vec<bool> {
+            let mut gc = collector_with(|c| c.generational = generational);
+            let objs = build_typed(&mut gc, &spec);
+            if generational {
+                gc.collect_minor(); // tenure the reachable graph
+            }
+            // Victim placements target *rooted* hosts only, so the hosts
+            // are reachable in both modes regardless of edge overwrites.
+            let mut victims = Vec::new();
+            for &(ri, w0) in &spec.stores {
+                let host = spec.roots[ri % spec.roots.len()];
+                let w = w0 % spec.sizes[host];
+                let victim = gc.alloc(8, ObjectKind::Composite).unwrap();
+                let slot = objs[host] + u32::from(w) * 4;
+                gc.space_mut().write_u32(slot, victim.raw()).unwrap();
+                gc.record_write(slot);
+                victims.push((host, w, victim));
+            }
+            if generational {
+                gc.collect_minor();
+            } else {
+                gc.collect();
+            }
+            victims.iter().map(|&(_, _, v)| gc.is_live(v)).collect()
+        };
+        let full = run(false);
+        let minor = run(true);
+        prop_assert_eq!(&full, &minor,
+            "typed hosts' victims must share one fate in full and minor mode");
+        // And that shared fate is the *declared* one: the last victim
+        // stored into a pointer word lives, everything else dies.
+        let mut last: std::collections::HashMap<(usize, u8), usize> =
+            std::collections::HashMap::new();
+        for (vi, &(ri, w0)) in spec.stores.iter().enumerate() {
+            let host = spec.roots[ri % spec.roots.len()];
+            let w = w0 % spec.sizes[host];
+            last.insert((host, w), vi);
+        }
+        for (vi, &(ri, w0)) in spec.stores.iter().enumerate() {
+            let host = spec.roots[ri % spec.roots.len()];
+            let w = w0 % spec.sizes[host];
+            let expect = last.get(&(host, w)) == Some(&vi) && spec.is_pointer_word(host, w);
+            prop_assert_eq!(
+                full[vi], expect,
+                "victim {} at word {} of host {} (typed={})",
+                vi, w, host, spec.typed[host]
             );
         }
     }

@@ -12,6 +12,9 @@ use std::time::{Duration, Instant};
 #[derive(Debug)]
 struct PageMap {
     slots: Vec<u32>,
+    /// Bumped on every mutation; [`PageResolveCache`] entries are valid
+    /// only for the epoch they were filled under.
+    epoch: u64,
 }
 
 impl PageMap {
@@ -20,6 +23,7 @@ impl PageMap {
     fn new() -> Self {
         PageMap {
             slots: vec![Self::NONE; 1 << 20],
+            epoch: 0,
         }
     }
 
@@ -31,10 +35,95 @@ impl PageMap {
 
     fn set(&mut self, page: PageIdx, id: BlockId) {
         self.slots[page.raw() as usize] = id.0;
+        self.epoch += 1;
     }
 
     fn clear(&mut self, page: PageIdx) {
         self.slots[page.raw() as usize] = Self::NONE;
+        self.epoch += 1;
+    }
+}
+
+/// Number of direct-mapped entries in a [`PageResolveCache`]; a power of
+/// two so the index is a mask.
+const RESOLVE_CACHE_ENTRIES: usize = 256;
+
+/// A small direct-mapped page → block cache for the mark phase's candidate
+/// resolution ([`Heap::object_containing_cached`]).
+///
+/// Candidate pointers cluster heavily by page — a block's objects are
+/// contiguous, and the mark stack drains neighbours together — so most
+/// lookups hit the page the cache already resolved. An entry caches the
+/// page-map answer *including* "no block here" (misses are as clustered as
+/// hits: think integers just past the heap break).
+///
+/// Correctness does not depend on any invalidation callback: every entry
+/// records the page-map **epoch** it was filled under, and the page map
+/// bumps its epoch on every mutation (block creation, growth, release).
+/// A lookup whose stored epoch disagrees with the heap's current epoch is
+/// treated as a miss and refilled, so a cache may be carried across
+/// collections, sweeps, and heap growth without ever returning a stale
+/// block. During a mark phase the heap is frozen, so the epoch is constant
+/// and every repeat lookup hits.
+#[derive(Debug)]
+pub struct PageResolveCache {
+    /// Cached page index per entry; `u32::MAX` = empty (pages are < 2^20).
+    tags: [u32; RESOLVE_CACHE_ENTRIES],
+    /// Cached raw block id per entry; `u32::MAX` = "page has no block".
+    vals: [u32; RESOLVE_CACHE_ENTRIES],
+    /// Page-map epoch the entries were filled under.
+    epoch: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Default for PageResolveCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PageResolveCache {
+    /// An empty cache; usable with any heap (it adopts the heap's epoch on
+    /// first lookup).
+    pub fn new() -> Self {
+        PageResolveCache {
+            tags: [u32::MAX; RESOLVE_CACHE_ENTRIES],
+            vals: [u32::MAX; RESOLVE_CACHE_ENTRIES],
+            epoch: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to walk the page map (including epoch flushes).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// The page-map answer for `page`, from the cache when current.
+    #[inline]
+    fn block_for(&mut self, page: PageIdx, map: &PageMap) -> Option<BlockId> {
+        if self.epoch != map.epoch {
+            self.tags = [u32::MAX; RESOLVE_CACHE_ENTRIES];
+            self.epoch = map.epoch;
+        }
+        let slot = page.raw() as usize & (RESOLVE_CACHE_ENTRIES - 1);
+        if self.tags[slot] == page.raw() {
+            self.hits += 1;
+            let v = self.vals[slot];
+            return (v != PageMap::NONE).then_some(BlockId(v));
+        }
+        self.misses += 1;
+        let id = map.get(page);
+        self.tags[slot] = page.raw();
+        self.vals[slot] = id.map_or(PageMap::NONE, |b| b.0);
+        id
     }
 }
 
@@ -185,12 +274,21 @@ impl Descriptor {
     pub fn with_pointers_at(words: u32, offsets: &[u32]) -> Descriptor {
         let mut word_is_pointer = vec![false; words as usize];
         for &o in offsets {
+            assert!(
+                o < words,
+                "pointer offset {o} out of range for a {words}-word descriptor"
+            );
             word_is_pointer[o as usize] = true;
         }
         Descriptor { word_is_pointer }
     }
 
-    /// The word offsets that may hold pointers.
+    /// The word offsets that may hold pointers, in **strictly ascending**
+    /// order — a structural guarantee of the bitmap representation (input
+    /// order and duplicates in [`with_pointers_at`](Self::with_pointers_at)
+    /// cannot affect it). Scan loops rely on it: once an offset lands past
+    /// an object's end, every later offset does too, so they may stop at
+    /// the first out-of-range offset without skipping a valid pointer word.
     pub fn pointer_offsets(&self) -> impl Iterator<Item = u32> + '_ {
         self.word_is_pointer
             .iter()
@@ -788,6 +886,31 @@ impl Heap {
         })
     }
 
+    /// [`object_containing`](Heap::object_containing) with the page → block
+    /// step served from `cache` — the mark phase's hot path. Semantically
+    /// identical to the uncached resolve for any cache state: stale entries
+    /// are detected by epoch and refilled (see [`PageResolveCache`]).
+    #[inline]
+    pub fn object_containing_cached(
+        &self,
+        addr: Addr,
+        cache: &mut PageResolveCache,
+    ) -> Option<ObjRef> {
+        let id = cache.block_for(addr.page(), &self.page_map)?;
+        let block = self.block(id)?;
+        let slot = block.slot_containing(addr)?;
+        if !self.slot_live(block, slot) {
+            return None;
+        }
+        Some(ObjRef {
+            block: block.id(),
+            index: slot,
+            base: block.slot_base(slot),
+            bytes: block.obj_bytes(),
+            kind: block.kind(),
+        })
+    }
+
     /// Returns `true` if `addr` is the base address of a live object.
     pub fn is_object_base(&self, addr: Addr) -> bool {
         self.object_containing(addr).is_some_and(|o| o.base == addr)
@@ -1147,25 +1270,27 @@ impl Heap {
     /// The live objects whose block owns `page` (the card-scanning helper
     /// for generational mode: a dirty page's old composite objects must be
     /// rescanned at a minor collection).
-    pub fn objects_on_page(&self, page: PageIdx) -> Vec<ObjRef> {
-        let Some(id) = self.page_map.get(page) else {
-            return Vec::new();
-        };
-        let Some(block) = self.block(id) else {
-            return Vec::new();
-        };
-        block
-            .allocated
-            .iter_ones()
-            .filter(|&slot| self.slot_live(block, slot))
-            .map(|slot| ObjRef {
-                block: block.id(),
-                index: slot,
-                base: block.slot_base(slot),
-                bytes: block.obj_bytes(),
-                kind: block.kind(),
+    /// Allocation-free: yields objects straight off the block's bitmaps,
+    /// so per-page scans (dirty-card rescans run one per dirty page, every
+    /// minor collection) build no intermediate `Vec`.
+    pub fn objects_on_page(&self, page: PageIdx) -> impl Iterator<Item = ObjRef> + '_ {
+        self.page_map
+            .get(page)
+            .and_then(|id| self.block(id))
+            .into_iter()
+            .flat_map(move |block| {
+                block
+                    .allocated
+                    .iter_ones()
+                    .filter(|&slot| self.slot_live(block, slot))
+                    .map(|slot| ObjRef {
+                        block: block.id(),
+                        index: slot,
+                        base: block.slot_base(slot),
+                        bytes: block.obj_bytes(),
+                        kind: block.kind(),
+                    })
             })
-            .collect()
     }
 
     /// Is the object in the old generation?
@@ -2136,5 +2261,108 @@ mod quarantine_tests {
         // 16 mapped - 1 block page = 15 free, of which 1 quarantined.
         assert_eq!(stats.free_pages, 15);
         assert_eq!(heap.quarantined_pages(), 1);
+    }
+
+    #[test]
+    fn descriptor_offsets_always_ascend() {
+        // Scan loops stop at the first out-of-range offset, which is only
+        // sound if pointer_offsets is strictly ascending — pin that down
+        // even for unsorted, duplicated constructor input.
+        let desc = Descriptor::with_pointers_at(8, &[5, 1, 3, 1, 5]);
+        let offsets: Vec<u32> = desc.pointer_offsets().collect();
+        assert_eq!(offsets, vec![1, 3, 5]);
+        assert!(
+            offsets.windows(2).all(|w| w[0] < w[1]),
+            "offsets are strictly ascending"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn descriptor_rejects_out_of_range_offsets() {
+        let _ = Descriptor::with_pointers_at(2, &[2]);
+    }
+
+    #[test]
+    fn resolve_cache_matches_uncached_lookups() {
+        let (mut space, mut heap) = setup();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let b = heap
+            .alloc(&mut space, 24, ObjectKind::Atomic, &mut accept_all)
+            .unwrap();
+        let mut cache = PageResolveCache::new();
+        // Valid bases, interiors, the gap between objects, and addresses
+        // far outside the heap must all resolve identically.
+        // (Distinct cache slots: a direct-mapped conflict would make the
+        // warm-pass assertion below count evictions, not correctness.)
+        let probes = [
+            a,
+            a + 4,
+            a + 8,
+            b,
+            b + 20,
+            Addr::new(0x10),
+            Addr::new(0x712_3000),
+        ];
+        for addr in probes {
+            assert_eq!(
+                heap.object_containing(addr),
+                heap.object_containing_cached(addr, &mut cache),
+                "cached resolution diverged at {addr}"
+            );
+        }
+        let misses_after_first_pass = cache.misses();
+        assert!(misses_after_first_pass > 0, "cold cache misses");
+        assert_eq!(cache.hits() + cache.misses(), probes.len() as u64);
+        // A second pass over the same pages is all hits (the heap is
+        // unchanged, so the page-map epoch is unchanged).
+        for addr in probes {
+            assert_eq!(
+                heap.object_containing(addr),
+                heap.object_containing_cached(addr, &mut cache)
+            );
+        }
+        assert_eq!(
+            cache.misses(),
+            misses_after_first_pass,
+            "warm pass never misses"
+        );
+        assert!(cache.hits() >= probes.len() as u64);
+    }
+
+    #[test]
+    fn resolve_cache_flushes_when_the_page_map_changes() {
+        let (mut space, mut heap) = setup();
+        let a = heap
+            .alloc(&mut space, 8, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let mut cache = PageResolveCache::new();
+        heap.object_containing_cached(a, &mut cache).unwrap();
+        heap.object_containing_cached(a, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        // Mapping a block of a new size class mutates the page map and
+        // bumps its epoch: the next lookup must flush and re-walk, not
+        // serve the stale entry.
+        heap.alloc(&mut space, 2048, ObjectKind::Composite, &mut accept_all)
+            .unwrap();
+        let resolved = heap.object_containing_cached(a, &mut cache);
+        assert_eq!(resolved, heap.object_containing(a));
+        assert_eq!(
+            (cache.hits(), cache.misses()),
+            (1, 2),
+            "epoch change forces a page-map walk"
+        );
+        // Freeing every object releases pages (another epoch bump): a
+        // cached "this page has block X" must not outlive the block.
+        heap.clear_marks();
+        heap.sweep();
+        assert_eq!(
+            heap.object_containing_cached(a, &mut cache),
+            None,
+            "released block is not resurrected by the cache"
+        );
+        assert_eq!(heap.object_containing(a), None);
     }
 }

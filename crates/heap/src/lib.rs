@@ -51,6 +51,6 @@ pub use explicit::ExplicitHeap;
 pub use freelist::{FreeList, FreeListPolicy};
 pub use heap::{
     accept_all, Descriptor, DescriptorId, Heap, HeapConfig, HeapStats, LazySweepStats,
-    PagePredicate, PageUse, SizeClassCensus, SweepStats,
+    PagePredicate, PageResolveCache, PageUse, SizeClassCensus, SweepStats,
 };
 pub use sizeclass::{SizeClass, GRANULE_BYTES, MAX_SMALL_BYTES};
