@@ -152,12 +152,20 @@ fn main() {
             r.final_heap_pages.to_string(),
         ]);
         if json_out.enabled() {
+            let gc = platform.machine.gc();
+            let objs = gc.heap().objects_allocated_total();
+            let throughput = objs as f64 / r.elapsed.as_secs_f64().max(1e-9);
             mode_reports.push(json_object(&[
                 ("mode", json_str(mode)),
                 ("elapsed_ns", r.elapsed.as_nanos().to_string()),
                 ("collections", r.collections.to_string()),
                 ("final_heap_pages", r.final_heap_pages.to_string()),
-                ("metrics", platform.machine.gc().metrics_json()),
+                ("alloc_throughput_objs_per_sec", format!("{throughput:.2}")),
+                (
+                    "alloc_fast_path_hits",
+                    gc.stats().fast_path_allocs.to_string(),
+                ),
+                ("metrics", gc.metrics_json()),
             ]));
         }
     }

@@ -53,6 +53,10 @@ fn gcbench_json_report_is_complete_and_consistent() {
         "\"obj_bytes\":",
         "\"blacklist\":",
         "\"alloc_slow_path_ns\":",
+        "\"alloc_throughput_objs_per_sec\":",
+        "\"alloc_fast_path_hits\":",
+        "\"fast_path_allocs\":",
+        "\"slow_path_allocs\":",
     ] {
         assert!(
             json.matches(key).count() >= 3,

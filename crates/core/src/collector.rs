@@ -75,6 +75,10 @@ pub struct Collector {
     /// were reported to telemetry; the difference to the current totals is
     /// the batch a [`GcEvent::LazySweep`] describes.
     lazy_reported: LazySweepStats,
+    /// Cumulative fast/slow allocation counts at the end of the previous
+    /// collection, so each [`CollectionStats`] can report the deltas
+    /// accumulated since then.
+    allocs_at_last_collect: (u64, u64),
 }
 
 /// State of an in-progress incremental marking cycle.
@@ -112,6 +116,7 @@ impl Collector {
             inc: None,
             weak_links: HashMap::new(),
             lazy_reported: LazySweepStats::default(),
+            allocs_at_last_collect: (0, 0),
             space,
             config,
         }
@@ -139,17 +144,26 @@ impl Collector {
     /// Returns [`GcError::Heap`] when the heap limit is exhausted even
     /// after a forced collection, or for zero-sized requests.
     pub fn alloc(&mut self, bytes: u32, kind: ObjectKind) -> Result<Addr, GcError> {
-        let t0 = Instant::now();
-        let mapped_before = self.heap.stats().mapped_pages;
+        // Fast-path discipline: no clock reads and no heap walks. The heap
+        // probes below are the O(1) narrow accessors, and `Instant::now()`
+        // is stamped lazily at the first slow-path entry, so an allocation
+        // that triggers no collection work pays for neither.
+        let mut t0: Option<Instant> = None;
+        let mapped_before = self.heap.mapped_pages();
         let work_before = self.stats.collections + self.stats.increments;
-        self.start();
+        if !self.startup_done {
+            t0 = Some(Instant::now());
+            self.start();
+        }
         if self.config.incremental {
             // Keep an in-progress cycle moving; start one at the usual
             // threshold.
             if self.inc.is_some() || self.should_collect() {
+                t0.get_or_insert_with(Instant::now);
                 self.collect_increment(CollectReason::Automatic);
             }
         } else if self.should_collect() {
+            t0.get_or_insert_with(Instant::now);
             let kind = self.auto_collect_kind();
             self.collect_impl(kind, CollectReason::Automatic);
         }
@@ -159,6 +173,7 @@ impl Collector {
                 Ok(addr)
             }
             Err(HeapError::OutOfMemory { .. }) => {
+                t0.get_or_insert_with(Instant::now);
                 // Out-of-memory retries always use a full collection. It
                 // realizes and reports any deferred sweep work itself, so
                 // account this attempt's share first.
@@ -171,7 +186,7 @@ impl Collector {
             Err(e) => Err(e.into()),
         };
         self.note_lazy_sweep();
-        let mapped_after = self.heap.stats().mapped_pages;
+        let mapped_after = self.heap.mapped_pages();
         if mapped_after > mapped_before {
             self.emit(|| GcEvent::HeapGrow {
                 grown_pages: mapped_after - mapped_before,
@@ -181,8 +196,16 @@ impl Collector {
         // Slow path: the allocation triggered collection work (a
         // stop-the-world cycle, an incremental step, or the startup
         // collection) before returning.
-        if self.stats.collections + self.stats.increments > work_before {
-            let duration = t0.elapsed();
+        let slow = self.stats.collections + self.stats.increments > work_before;
+        if result.is_ok() {
+            if slow {
+                self.stats.slow_path_allocs += 1;
+            } else {
+                self.stats.fast_path_allocs += 1;
+            }
+        }
+        if slow {
+            let duration = t0.expect("collection work stamps the clock").elapsed();
             self.stats.alloc_slow_path.record_duration(duration);
             self.emit(|| GcEvent::AllocSlowPath { bytes, duration });
         }
@@ -301,6 +324,7 @@ impl Collector {
     /// # }
     /// ```
     pub fn alloc_typed(&mut self, bytes: u32, desc: DescriptorId) -> Result<Addr, GcError> {
+        let work_before = self.stats.collections + self.stats.increments;
         self.start();
         if self.should_collect() {
             let kind = self.auto_collect_kind();
@@ -330,6 +354,13 @@ impl Collector {
             Err(e) => Err(e.into()),
         };
         self.note_lazy_sweep();
+        if result.is_ok() {
+            if self.stats.collections + self.stats.increments > work_before {
+                self.stats.slow_path_allocs += 1;
+            } else {
+                self.stats.fast_path_allocs += 1;
+            }
+        }
         result
     }
 
@@ -370,11 +401,18 @@ impl Collector {
     }
 
     fn should_collect(&self) -> bool {
-        let s = self.heap.stats();
-        let mapped = u64::from(s.mapped_pages) * u64::from(PAGE_BYTES);
+        let mapped = u64::from(self.heap.mapped_pages()) * u64::from(PAGE_BYTES);
         let threshold = (mapped / u64::from(self.config.free_space_divisor))
             .max(self.config.min_bytes_between_gcs);
-        s.bytes_since_collect >= threshold
+        self.heap.bytes_since_collect() >= threshold
+    }
+
+    /// Fast/slow allocation-path counts accumulated since the previous
+    /// collection, advancing the snapshot to now.
+    fn take_alloc_path_deltas(&mut self) -> (u64, u64) {
+        let now = (self.stats.fast_path_allocs, self.stats.slow_path_allocs);
+        let (fast0, slow0) = std::mem::replace(&mut self.allocs_at_last_collect, now);
+        (now.0 - fast0, now.1 - slow0)
     }
 
     /// Runs a collection described by `request` — the unified entry point
@@ -581,6 +619,7 @@ impl Collector {
             gc_no,
             duration: pause,
         });
+        let (fast_path_allocs, slow_path_allocs) = self.take_alloc_path_deltas();
         let c = CollectionStats {
             gc_no,
             kind: CollectKind::Full,
@@ -597,6 +636,8 @@ impl Collector {
             resolve_hits: acc.resolve_hits,
             resolve_misses: acc.resolve_misses,
             finalizers_ready,
+            fast_path_allocs,
+            slow_path_allocs,
             sweep,
             phases,
             parallel_mark: None,
@@ -786,6 +827,7 @@ impl Collector {
         self.blacklist.end_cycle();
         self.heap.note_collection();
 
+        let (fast_path_allocs, slow_path_allocs) = self.take_alloc_path_deltas();
         let c = CollectionStats {
             gc_no,
             kind,
@@ -802,6 +844,8 @@ impl Collector {
             resolve_hits: out.resolve_hits,
             resolve_misses: out.resolve_misses,
             finalizers_ready,
+            fast_path_allocs,
+            slow_path_allocs,
             sweep,
             phases,
             parallel_mark,

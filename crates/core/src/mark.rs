@@ -22,7 +22,7 @@
 
 use crate::{Blacklist, GcConfig, PointerPolicy, RootClass};
 use gc_heap::{Heap, ObjRef, ObjectKind, PageResolveCache};
-use gc_vmspace::{Addr, AddressSpace, Endian, Segment, PAGE_BYTES};
+use gc_vmspace::{Addr, AddressSpace, Endian, Segment, SegmentHint, PAGE_BYTES};
 
 /// Counters produced by one mark phase.
 #[derive(Clone, Copy, Debug, Default)]
@@ -80,6 +80,11 @@ impl MarkOutcome {
 /// `pointer_offsets()` is iterated directly — no per-object collection of
 /// offsets — which is possible everywhere because every caller holds the
 /// heap by shared reference during marking.
+///
+/// The object's memory is fetched through the caller's [`SegmentHint`]
+/// rather than the address space's shared one-entry cache: each scan loop
+/// (the serial marker, every parallel worker) owns a private hint, so
+/// concurrent scans cannot evict each other's cached segment.
 #[inline]
 pub(crate) fn scan_object_fields(
     space: &AddressSpace,
@@ -87,10 +92,11 @@ pub(crate) fn scan_object_fields(
     endian: Endian,
     stride: usize,
     obj: ObjRef,
+    hint: &mut SegmentHint,
     mut consider: impl FnMut(u32),
 ) -> u64 {
     let bytes = space
-        .bytes_at(obj.base, obj.bytes)
+        .bytes_at_hinted(obj.base, obj.bytes, hint)
         .expect("live object memory is mapped");
     if bytes.len() < 4 {
         return 0;
@@ -141,6 +147,10 @@ pub(crate) struct Marker<'a> {
     minor: bool,
     /// Page-resolve cache ([`GcConfig::resolve_cache`]); `None` = off.
     cache: Option<PageResolveCache>,
+    /// Private segment hint for object scans (see
+    /// [`scan_object_fields`]) — keeps this marker's loops off the
+    /// address space's shared lookup cache.
+    hint: SegmentHint,
     pub(crate) out: MarkOutcome,
 }
 
@@ -182,6 +192,7 @@ impl<'a> Marker<'a> {
             stack: Vec::new(),
             minor: false,
             cache: config.resolve_cache.then(PageResolveCache::new),
+            hint: SegmentHint::new(),
             out: MarkOutcome::default(),
         }
     }
@@ -253,9 +264,11 @@ impl<'a> Marker<'a> {
                 if obj.kind != ObjectKind::Composite || (only_old && !heap.is_old(obj)) {
                     continue;
                 }
-                let words = scan_object_fields(space, heap, endian, stride, obj, |v| {
+                let mut hint = self.hint;
+                let words = scan_object_fields(space, heap, endian, stride, obj, &mut hint, |v| {
                     self.consider(v, RootClass::Heap);
                 });
+                self.hint = hint;
                 self.out.heap_words += words;
             }
             if drain {
@@ -310,9 +323,11 @@ impl<'a> Marker<'a> {
                 return true;
             };
             traced += 1;
-            let words = scan_object_fields(space, heap, endian, stride, obj, |v| {
+            let mut hint = self.hint;
+            let words = scan_object_fields(space, heap, endian, stride, obj, &mut hint, |v| {
                 self.consider(v, RootClass::Heap);
             });
+            self.hint = hint;
             self.out.heap_words += words;
         }
         self.stack.is_empty()
@@ -414,9 +429,11 @@ impl<'a> Marker<'a> {
         let (space, heap, endian) = (self.space, self.heap, self.endian);
         let stride = self.config.scan_alignment.stride() as usize;
         while let Some(obj) = self.stack.pop() {
-            let words = scan_object_fields(space, heap, endian, stride, obj, |v| {
+            let mut hint = self.hint;
+            let words = scan_object_fields(space, heap, endian, stride, obj, &mut hint, |v| {
                 self.consider(v, RootClass::Heap);
             });
+            self.hint = hint;
             self.out.heap_words += words;
         }
     }

@@ -35,7 +35,7 @@ use crate::stats::MarkWorkerStats;
 use crate::worksteal::{InFlight, StealDeque};
 use crate::{GcConfig, PointerPolicy};
 use gc_heap::{Heap, ObjRef, ObjectKind, PageResolveCache};
-use gc_vmspace::{Addr, AddressSpace, Endian, PAGE_BYTES};
+use gc_vmspace::{Addr, AddressSpace, Endian, SegmentHint, PAGE_BYTES};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
@@ -175,9 +175,10 @@ fn drain_single(shared: &Shared<'_>, seeds: Vec<ObjRef>) -> WorkerResult {
     let start = Instant::now();
     let mut res = WorkerResult::default();
     let mut cache = shared.resolve_cache.then(PageResolveCache::new);
+    let mut hint = SegmentHint::new();
     let mut local = seeds;
     while let Some(obj) = local.pop() {
-        scan_object(shared, obj, &mut local, &mut res, &mut cache);
+        scan_object(shared, obj, &mut local, &mut res, &mut cache, &mut hint);
     }
     finish_cache(&mut res, cache);
     res.duration = start.elapsed();
@@ -202,6 +203,9 @@ fn worker_loop(
     let start = Instant::now();
     let mut res = WorkerResult::default();
     let mut cache = shared.resolve_cache.then(PageResolveCache::new);
+    // Per-worker segment hint: concurrent workers scanning through the
+    // shared `AddressSpace` cache would ping-pong its single entry.
+    let mut hint = SegmentHint::new();
     let mut local: Vec<ObjRef> = Vec::new();
     let mut am_hungry = false;
     let n = queues.len();
@@ -227,7 +231,7 @@ fn worker_loop(
                 }
                 local.extend(items);
                 while let Some(obj) = local.pop() {
-                    scan_object(shared, obj, &mut local, &mut res, &mut cache);
+                    scan_object(shared, obj, &mut local, &mut res, &mut cache, &mut hint);
                     // Spill the *bottom* of the stack (the older entries —
                     // roots of the largest unexplored subgraphs) when the
                     // stack is overfull, or as soon as any worker is
@@ -279,6 +283,7 @@ fn scan_object(
     local: &mut Vec<ObjRef>,
     res: &mut WorkerResult,
     cache: &mut Option<PageResolveCache>,
+    hint: &mut SegmentHint,
 ) {
     let words = scan_object_fields(
         shared.space,
@@ -286,6 +291,7 @@ fn scan_object(
         shared.endian,
         shared.stride,
         obj,
+        hint,
         |value| consider(shared, value, local, res, cache),
     );
     res.out.heap_words += words;

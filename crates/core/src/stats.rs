@@ -160,6 +160,13 @@ pub struct CollectionStats {
     pub resolve_misses: u64,
     /// Finalizable objects that became ready this cycle.
     pub finalizers_ready: u32,
+    /// Successful allocations since the previous collection that completed
+    /// without triggering any collection work.
+    pub fast_path_allocs: u64,
+    /// Successful allocations since the previous collection that triggered
+    /// collection work (a cycle, an incremental step, or the startup
+    /// collection) before returning.
+    pub slow_path_allocs: u64,
     /// Sweep results.
     pub sweep: SweepStats,
     /// Per-phase wall-clock breakdown (root scan, mark, finalize, sweep).
@@ -223,6 +230,13 @@ pub struct GcStats {
     /// Distribution of allocation slow-path latencies (allocations that
     /// triggered collection work before returning), in nanoseconds.
     pub alloc_slow_path: Histogram,
+    /// Successful allocations that completed without triggering any
+    /// collection work — the O(1) fast path.
+    pub fast_path_allocs: u64,
+    /// Successful allocations that triggered collection work before
+    /// returning. `fast_path_allocs + slow_path_allocs` is the total
+    /// number of successful `alloc`/`alloc_typed` calls.
+    pub slow_path_allocs: u64,
     /// Distribution of realized deferred-sweep batches (lazy sweeping
     /// only), in nanoseconds: the time each allocation slow path or
     /// [`finish_sweep`](crate::Collector::finish_sweep) spent rebuilding
@@ -266,6 +280,8 @@ mod tests {
             resolve_hits: 0,
             resolve_misses: 0,
             finalizers_ready: 0,
+            fast_path_allocs: 0,
+            slow_path_allocs: 0,
             sweep: SweepStats::default(),
             phases: PhaseTimes::default(),
             parallel_mark: None,

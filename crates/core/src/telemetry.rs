@@ -49,7 +49,13 @@ use std::time::Duration;
 /// `resolve_cache` config field, `last_collection.resolve_hits` /
 /// `last_collection.resolve_misses`, and the same two fields on the
 /// `collection_end` event (all 0 when the cache is disabled).
-pub const METRICS_SCHEMA_VERSION: u32 = 4;
+///
+/// Version 5 added allocation fast-path telemetry: the `bump_alloc`
+/// config field, the snapshot's top-level `fast_path_allocs` /
+/// `slow_path_allocs` counters (successful allocations that did / did not
+/// trigger collection work), and the same two fields on
+/// `last_collection` as deltas since the previous collection.
+pub const METRICS_SCHEMA_VERSION: u32 = 5;
 
 // ---------------------------------------------------------------------------
 // Phase timings
@@ -764,7 +770,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     let last = match &stats.last {
         None => "null".to_string(),
         Some(c) => format!(
-            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"resolve_hits\":{},\"resolve_misses\":{},\"finalizers_ready\":{},\"objects_freed\":{},\"bytes_freed\":{},\"blocks_deferred\":{},\"parallel_mark\":{}}}",
+            "{{\"gc_no\":{},\"kind\":\"{}\",\"reason\":\"{}\",\"phases\":{},\"duration_ns\":{},\"root_words_scanned\":{},\"heap_words_scanned\":{},\"candidates_in_range\":{},\"valid_pointers\":{},\"false_refs_near_heap\":{},\"newly_blacklisted\":{},\"objects_marked\":{},\"bytes_marked\":{},\"resolve_hits\":{},\"resolve_misses\":{},\"finalizers_ready\":{},\"fast_path_allocs\":{},\"slow_path_allocs\":{},\"objects_freed\":{},\"bytes_freed\":{},\"blocks_deferred\":{},\"parallel_mark\":{}}}",
             c.gc_no,
             c.kind,
             c.reason,
@@ -781,6 +787,8 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
             c.resolve_hits,
             c.resolve_misses,
             c.finalizers_ready,
+            c.fast_path_allocs,
+            c.slow_path_allocs,
             c.sweep.objects_freed,
             c.sweep.bytes_freed,
             c.sweep.blocks_deferred,
@@ -832,7 +840,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     );
 
     let config_summary = format!(
-        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{},\"lazy_sweep\":{},\"sweep_budget\":{},\"resolve_cache\":{}}}",
+        "{{\"pointer_policy\":\"{}\",\"scan_alignment\":\"{}\",\"generational\":{},\"incremental\":{},\"mark_threads\":{},\"lazy_sweep\":{},\"sweep_budget\":{},\"resolve_cache\":{},\"bump_alloc\":{}}}",
         config.pointer_policy,
         config.scan_alignment,
         config.generational,
@@ -841,6 +849,7 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
         config.lazy_sweep,
         config.heap.sweep_budget,
         config.resolve_cache,
+        config.heap.bump_alloc,
     );
 
     // Lazy-sweep state: what is still pending, and the deferred work
@@ -861,9 +870,11 @@ pub(crate) fn metrics_json(gc: &Collector) -> String {
     );
 
     format!(
-        "{{\"version\":{METRICS_SCHEMA_VERSION},\"config\":{config_summary},\"collections\":{collections},\"last_collection\":{last},\"pause_ns\":{},\"alloc_slow_path_ns\":{},\"lazy_sweep\":{lazy_sweep},\"heap\":{heap},\"blacklist\":{blacklist}}}",
+        "{{\"version\":{METRICS_SCHEMA_VERSION},\"config\":{config_summary},\"collections\":{collections},\"last_collection\":{last},\"pause_ns\":{},\"alloc_slow_path_ns\":{},\"fast_path_allocs\":{},\"slow_path_allocs\":{},\"lazy_sweep\":{lazy_sweep},\"heap\":{heap},\"blacklist\":{blacklist}}}",
         stats.pause_times.to_json(),
         stats.alloc_slow_path.to_json(),
+        stats.fast_path_allocs,
+        stats.slow_path_allocs,
     )
 }
 

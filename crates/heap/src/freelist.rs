@@ -67,6 +67,17 @@ impl FreeList {
         }
     }
 
+    /// The slot the next [`pop`](Self::pop) would return, without removing
+    /// it — the allocator merges this with its bump cursor so partitioning
+    /// recycled slots from never-used tails preserves the policy's global
+    /// allocation order.
+    pub fn peek(&self) -> Option<Addr> {
+        match self {
+            FreeList::AddressOrdered(set) => set.first().copied(),
+            FreeList::Lifo(v) => v.last().copied(),
+        }
+    }
+
     /// Number of free slots.
     pub fn len(&self) -> usize {
         match self {

@@ -165,6 +165,17 @@ pub struct HeapConfig {
     /// Values below 1 behave as 1 — an allocation that finds its free list
     /// empty must be allowed to sweep at least one block to make progress.
     pub sweep_budget: u32,
+    /// Allocation fast path: fresh small blocks keep their never-used
+    /// slots behind a per-(class, kind) bump cursor instead of
+    /// prepopulating the free list, and allocations into never-written
+    /// pages skip the explicit zero fill (the pages were zeroed when
+    /// mapped). Behaviourally invisible — allocation addresses, zeroing,
+    /// and collection triggers are identical either way; `false` restores
+    /// the old prepopulate-and-always-fill shapes for differential
+    /// testing. Cursors only apply under the address-ordered free-list
+    /// policy (LIFO's pop order cannot be expressed as a cursor); the
+    /// zero-once fill elision applies under both.
+    pub bump_alloc: bool,
 }
 
 impl Default for HeapConfig {
@@ -175,6 +186,7 @@ impl Default for HeapConfig {
             growth_pages: 256,
             freelist_policy: FreeListPolicy::AddressOrdered,
             sweep_budget: 64,
+            bump_alloc: true,
         }
     }
 }
@@ -326,8 +338,40 @@ pub struct Heap {
     /// (observation 6); [`Heap::note_collection`] returns the rest to the
     /// free runs, since blacklist entries age.
     quarantined: Vec<u32>,
-    /// Free lists indexed by `class.index() * 2 + kind`.
+    /// Atomic-reclaim scan cursor into `quarantined`: every entry below it
+    /// was already rejected for atomic small-block use since the last
+    /// collection. Sound because the collector's predicate (the blacklist)
+    /// only grows between collections — a rejected page stays rejected —
+    /// and [`Heap::note_collection`] resets the cursor when the predicate
+    /// may relent. Keeps repeated atomic misses from rescanning the whole
+    /// list.
+    quarantine_scan: usize,
+    /// Free lists indexed by `class.index() * 2 + kind`, holding only
+    /// *recycled* slots under the bump-allocation fast path (never-used
+    /// tails stay behind `cursors`).
     free_lists: Vec<FreeList>,
+    /// Bump cursors indexed like `free_lists`: the current block whose
+    /// never-used tail (`bump..slots`) serves fresh allocations for that
+    /// (class, kind). At most one block per index ever has a never-used
+    /// tail, so the union of the free list and the cursor tail is exactly
+    /// the slot set the prepopulated free list used to hold, and popping
+    /// `min(list head, tail head)` preserves the address-ordered
+    /// allocation order bit for bit.
+    cursors: Vec<Option<BlockId>>,
+    /// Pages mapped but in no free run and no block (the free-run total,
+    /// maintained incrementally so `stats()` is O(1)).
+    free_run_pages: u32,
+    /// Multiset of free-run lengths (length → count), kept in lockstep
+    /// with `free_runs` so `largest_free_run` is a `last_key_value` away
+    /// instead of a full scan.
+    run_lengths: BTreeMap<u32, u32>,
+    /// Live block count, maintained incrementally.
+    block_count: u32,
+    /// One bit per page: set while the page has never been written since
+    /// the address space mapped (and zero-initialized) it. Cleared when a
+    /// block is created over the page; blocks created entirely on clean
+    /// pages skip the per-allocation zero fill for never-used slots.
+    clean_pages: Vec<u64>,
     next_expansion: Addr,
     /// The most recent heap segment and its end, for contiguous in-place
     /// extension (a multi-page object may span expansion increments, so
@@ -408,7 +452,13 @@ impl Heap {
             page_map: PageMap::new(),
             free_runs: BTreeMap::new(),
             quarantined: Vec::new(),
+            quarantine_scan: 0,
             free_lists,
+            cursors: vec![None; SizeClass::COUNT * 2],
+            free_run_pages: 0,
+            run_lengths: BTreeMap::new(),
+            block_count: 0,
+            clean_pages: vec![0; (1 << 20) / 64],
             mapped_pages: 0,
             bytes_live: 0,
             bytes_allocated_total: 0,
@@ -538,6 +588,53 @@ impl Heap {
         }
     }
 
+    /// Whether fresh small blocks keep their never-used slots behind a
+    /// bump cursor (the allocation fast path). LIFO free lists keep the
+    /// prepopulated shape: their pop order is not expressible as a cursor.
+    fn bump_enabled(&self) -> bool {
+        self.config.bump_alloc && self.config.freelist_policy == FreeListPolicy::AddressOrdered
+    }
+
+    /// Pops the next small slot for `fli`, merging the recycled free list
+    /// with the bump cursor's never-used tail so the global allocation
+    /// order is exactly what a prepopulated free list would produce.
+    /// Returns `(addr, block, slot, fresh)`; `fresh` means the slot's
+    /// memory has never been written (allocation may skip the zero fill).
+    fn pop_small_slot(&mut self, fli: usize) -> Option<(Addr, BlockId, u32, bool)> {
+        let tail = self.cursors[fli].map(|id| {
+            let b = self.blocks[id.0 as usize]
+                .as_ref()
+                .expect("cursor block is live");
+            debug_assert!(b.bump < b.slots(), "cursor block has a never-used tail");
+            (b.slot_base(b.bump), id, b.bump)
+        });
+        let take_list = match (self.free_lists[fli].peek(), tail) {
+            (Some(l), Some((t, _, _))) => l < t,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => return None,
+        };
+        if take_list {
+            let addr = self.free_lists[fli].pop().expect("peeked slot pops");
+            let (block, slot) = self.slot_of(addr).expect("free-list slot resolves");
+            Some((addr, block.id(), slot, false))
+        } else {
+            let (addr, id, slot) = tail.expect("cursor tail selected");
+            let b = self.block_mut(id);
+            b.bump += 1;
+            let fresh = b.zeroed;
+            if b.bump == b.slots() {
+                self.cursors[fli] = None;
+            }
+            Some((addr, id, slot, fresh))
+        }
+    }
+
+    /// Is a slot available for `fli` without taking a fresh page?
+    fn small_slot_available(&self, fli: usize) -> bool {
+        !self.free_lists[fli].is_empty() || self.cursors[fli].is_some()
+    }
+
     fn alloc_small(
         &mut self,
         space: &mut AddressSpace,
@@ -546,25 +643,34 @@ impl Heap {
         pred: PagePredicate<'_>,
     ) -> Result<Addr, HeapError> {
         let fli = fl_index(class, kind);
-        if let Some(addr) = self.free_lists[fli].pop() {
-            return self.finish_alloc(space, addr, class.bytes());
+        if let Some((addr, id, slot, fresh)) = self.pop_small_slot(fli) {
+            return self.finish_alloc(space, addr, id, slot, class.bytes(), fresh);
         }
         // Lazy-sweep slow path: reload this class's free list from blocks
         // the last collection left pending before taking a fresh page.
         if self.sweep_pending_small(fli) {
-            if let Some(addr) = self.free_lists[fli].pop() {
-                return self.finish_alloc(space, addr, class.bytes());
+            if let Some((addr, id, slot, fresh)) = self.pop_small_slot(fli) {
+                return self.finish_alloc(space, addr, id, slot, class.bytes(), fresh);
             }
         }
         let mut denied = 0u32;
         // Quarantined (predicate-rejected) pages are still usable by small
         // *atomic* blocks (observation 6's exemption); pointer-containing
         // acquisitions never look at them again — that is the point of the
-        // quarantine.
+        // quarantine. The scan resumes past the already-rejected prefix
+        // (`quarantine_scan`), so repeated atomic misses are O(new pages),
+        // not O(quarantine).
         let reclaimed = if kind == ObjectKind::Atomic {
-            self.quarantined
+            let start = self.quarantine_scan.min(self.quarantined.len());
+            let hit = self.quarantined[start..]
                 .iter()
                 .position(|&p| pred(PageIdx::new(p), PageUse::SmallBlock(kind)))
+                .map(|i| start + i);
+            // Everything scanned before the hit (or the whole tail) was
+            // rejected; the accepted entry is replaced by the unscanned
+            // last element, so the rejected prefix ends at the hit index.
+            self.quarantine_scan = hit.unwrap_or(self.quarantined.len());
+            hit
         } else {
             None
         };
@@ -582,14 +688,26 @@ impl Heap {
             })?
         };
         let id = BlockId(self.blocks.len() as u32);
-        let block = Block::new_small(id, page.base(), class, kind);
+        let mut block = Block::new_small(id, page.base(), class, kind);
+        block.zeroed = self.config.bump_alloc && self.pages_clean(page, 1);
         self.page_map.set(page, id);
-        for slot in 1..block.slots() {
-            self.free_lists[fli].push(block.slot_base(slot));
-        }
+        self.clear_pages_clean(page, 1);
         let addr = block.slot_base(0);
+        let fresh = block.zeroed;
+        if self.bump_enabled() {
+            block.bump = 1;
+            if block.bump < block.slots() {
+                self.cursors[fli] = Some(id);
+            }
+        } else {
+            block.bump = block.slots();
+            for slot in 1..block.slots() {
+                self.free_lists[fli].push(block.slot_base(slot));
+            }
+        }
         self.blocks.push(Some(block));
-        self.finish_alloc(space, addr, class.bytes())
+        self.block_count += 1;
+        self.finish_alloc(space, addr, id, 0, class.bytes(), fresh)
     }
 
     fn alloc_large(
@@ -621,36 +739,66 @@ impl Heap {
                 pages_denied: denied,
             })?;
         let id = BlockId(self.blocks.len() as u32);
-        let block = Block::new_large(id, first_page.base(), obj_bytes, kind);
+        let mut block = Block::new_large(id, first_page.base(), obj_bytes, kind);
+        block.zeroed = self.config.bump_alloc && self.pages_clean(first_page, block.npages());
         for i in 0..block.npages() {
             self.page_map.set(PageIdx::new(first_page.raw() + i), id);
         }
+        self.clear_pages_clean(first_page, block.npages());
         let addr = block.base();
+        let fresh = block.zeroed;
+        block.bump = 1;
         self.blocks.push(Some(block));
-        self.finish_alloc(space, addr, obj_bytes)
+        self.block_count += 1;
+        self.finish_alloc(space, addr, id, 0, obj_bytes, fresh)
     }
 
+    /// Books one allocated slot. The caller resolved `(id, slot)` already
+    /// (the bump and fresh-block paths know them outright; free-list pops
+    /// do one page-map lookup), so no redundant `slot_of` walk happens
+    /// here. `fresh` slots — never written since their pages were mapped —
+    /// skip the zero fill: the mapping already zeroed them.
     fn finish_alloc(
         &mut self,
         space: &mut AddressSpace,
         addr: Addr,
+        id: BlockId,
+        slot: u32,
         obj_bytes: u32,
+        fresh: bool,
     ) -> Result<Addr, HeapError> {
-        let (block, slot) = self
-            .slot_of(addr)
-            .expect("fresh allocation resolves to a slot");
-        let id = block.id();
         let b = self.block_mut(id);
         b.allocated.set(slot);
         // Fresh objects are born young, whatever the slot's previous
         // occupant was.
         b.old.clear(slot);
-        space.fill(addr, obj_bytes, 0)?;
+        if !fresh {
+            space.fill(addr, obj_bytes, 0)?;
+        }
         self.bytes_live += u64::from(obj_bytes);
         self.bytes_allocated_total += u64::from(obj_bytes);
         self.bytes_since_collect += u64::from(obj_bytes);
         self.objects_allocated_total += 1;
         Ok(addr)
+    }
+
+    /// Is every page of `[first, first+n)` still in its never-written,
+    /// zero-initialized state?
+    fn pages_clean(&self, first: PageIdx, n: u32) -> bool {
+        (first.raw()..first.raw() + n)
+            .all(|p| self.clean_pages[p as usize / 64] >> (p % 64) & 1 == 1)
+    }
+
+    fn set_pages_clean(&mut self, first: PageIdx, n: u32) {
+        for p in first.raw()..first.raw() + n {
+            self.clean_pages[p as usize / 64] |= 1 << (p % 64);
+        }
+    }
+
+    fn clear_pages_clean(&mut self, first: PageIdx, n: u32) {
+        for p in first.raw()..first.raw() + n {
+            self.clean_pages[p as usize / 64] &= !(1 << (p % 64));
+        }
     }
 
     /// Takes one acceptable page, parking rejected pages in the quarantine
@@ -726,6 +874,27 @@ impl Heap {
         None
     }
 
+    /// Inserts a free run, keeping the page total and length multiset (the
+    /// O(1)-stats counters) in lockstep with the run map.
+    fn runs_insert(&mut self, start: u32, len: u32) {
+        self.free_runs.insert(start, len);
+        self.free_run_pages += len;
+        *self.run_lengths.entry(len).or_insert(0) += 1;
+    }
+
+    /// Removes the free run starting at `start`, returning its length.
+    fn runs_remove(&mut self, start: u32) -> u32 {
+        let len = self.free_runs.remove(&start).expect("removed run exists");
+        self.free_run_pages -= len;
+        match self.run_lengths.get_mut(&len) {
+            Some(n) if *n > 1 => *n -= 1,
+            _ => {
+                self.run_lengths.remove(&len);
+            }
+        }
+        len
+    }
+
     /// Removes `[first, first+npages)` from the free runs.
     fn carve_run(&mut self, first: PageIdx, npages: u32) {
         let (&run_start, &run_len) = self
@@ -737,14 +906,13 @@ impl Heap {
             run_start <= first.raw() && first.raw() + npages <= run_start + run_len,
             "carved window exceeds its free run"
         );
-        self.free_runs.remove(&run_start);
+        self.runs_remove(run_start);
         if run_start < first.raw() {
-            self.free_runs.insert(run_start, first.raw() - run_start);
+            self.runs_insert(run_start, first.raw() - run_start);
         }
         let tail_start = first.raw() + npages;
         if tail_start < run_start + run_len {
-            self.free_runs
-                .insert(tail_start, run_start + run_len - tail_start);
+            self.runs_insert(tail_start, run_start + run_len - tail_start);
         }
     }
 
@@ -754,16 +922,16 @@ impl Heap {
         let mut len = npages;
         if let Some((&prev_start, &prev_len)) = self.free_runs.range(..start).next_back() {
             if prev_start + prev_len == start {
-                self.free_runs.remove(&prev_start);
+                self.runs_remove(prev_start);
                 start = prev_start;
                 len += prev_len;
             }
         }
         if let Some(&next_len) = self.free_runs.get(&(first.raw() + npages)) {
-            self.free_runs.remove(&(first.raw() + npages));
+            self.runs_remove(first.raw() + npages);
             len += next_len;
         }
-        self.free_runs.insert(start, len);
+        self.runs_insert(start, len);
     }
 
     /// Maps one more expansion increment of heap pages. Returns `false`
@@ -830,6 +998,9 @@ impl Heap {
             }
         }
         self.release_pages(base.page(), want);
+        // `map`/`extend` zero-initialize, so the new pages start clean:
+        // the first block carved from them may skip per-allocation fills.
+        self.set_pages_clean(base.page(), want);
         self.mapped_pages += want;
         self.heap_lo = Some(self.heap_lo.map_or(base, |lo| lo.min(base)));
         let end = base + want * PAGE_BYTES;
@@ -1001,6 +1172,7 @@ impl Heap {
         for fl in &mut self.free_lists {
             fl.clear();
         }
+        self.cursors.fill(None);
         // An eager sweep supersedes any outstanding lazy snapshot: it
         // visits every block with the same (fresh) mark bits the deferred
         // sweeps would have used.
@@ -1042,8 +1214,23 @@ impl Heap {
                 released.push(block.id);
             } else if let BlockShape::Small { class } = block.shape {
                 let fli = fl_index(class, block.kind);
+                if block.bump < block.slots() && self.cursors[fli].is_some() {
+                    // Another block already owns this list's cursor (only
+                    // possible after a budget-exhausted partial sweep
+                    // forced a fresh block while a tail was still
+                    // pending); retire this tail into the free list.
+                    block.bump = block.slots();
+                }
+                // Recycled slots go to the free list; the never-used tail
+                // (>= bump) stays behind the cursor.
                 for slot in block.allocated.iter_zeros() {
+                    if slot >= block.bump {
+                        break;
+                    }
                     self.free_lists[fli].push(block.slot_base(slot));
+                }
+                if block.bump < block.slots() {
+                    self.cursors[fli] = Some(block.id);
                 }
             }
         }
@@ -1081,6 +1268,12 @@ impl Heap {
         for fl in &mut self.free_lists {
             fl.clear();
         }
+        // Cursors park too: a pending block's never-used tail must not
+        // serve allocations before the block's deferred sweep realizes the
+        // snapshot (a tail allocation would set an `allocated` bit the
+        // sweep would then condemn). The deferred sweep re-establishes the
+        // cursor.
+        self.cursors.fill(None);
         for q in &mut self.pending_small {
             q.clear();
         }
@@ -1168,9 +1361,21 @@ impl Heap {
             self.lazy_totals.blocks_released += 1;
         } else if let Some((class, kind)) = small {
             let fli = fl_index(class, kind);
-            let block = self.blocks[idx].as_ref().expect("survivors keep the block");
+            let block = self.blocks[idx].as_mut().expect("survivors keep the block");
+            if block.bump < block.slots() && self.cursors[fli].is_some() {
+                // A block created since the snapshot owns the cursor;
+                // retire this tail into the free list instead.
+                block.bump = block.slots();
+            }
+            let bump = block.bump;
             for slot in block.allocated.iter_zeros() {
+                if slot >= bump {
+                    break;
+                }
                 self.free_lists[fli].push(block.slot_base(slot));
+            }
+            if bump < block.slots() {
+                self.cursors[fli] = Some(id);
             }
         }
         true
@@ -1185,7 +1390,7 @@ impl Heap {
         }
         let t0 = Instant::now();
         let mut budget = self.config.sweep_budget.max(1);
-        while budget > 0 && self.free_lists[fli].is_empty() {
+        while budget > 0 && !self.small_slot_available(fli) {
             let Some(id) = self.pending_small[fli].pop_front() else {
                 break;
             };
@@ -1194,7 +1399,7 @@ impl Heap {
             }
         }
         self.lazy_totals.sweep_time += t0.elapsed();
-        !self.free_lists[fli].is_empty()
+        self.small_slot_available(fli)
     }
 
     /// Sweeps up to one budget's worth of pending large blocks, releasing
@@ -1329,6 +1534,7 @@ impl Heap {
         let block = self.blocks[id.0 as usize]
             .take()
             .expect("released block is live");
+        self.block_count -= 1;
         for i in 0..block.npages() {
             self.page_map
                 .clear(PageIdx::new(block.base().page().raw() + i));
@@ -1338,7 +1544,11 @@ impl Heap {
         let lo = block.base();
         let hi = lo + block.npages() * PAGE_BYTES;
         if let BlockShape::Small { class } = block.shape {
-            self.free_lists[fl_index(class, block.kind)].retain_outside(lo, hi);
+            let fli = fl_index(class, block.kind);
+            self.free_lists[fli].retain_outside(lo, hi);
+            if self.cursors[fli] == Some(id) {
+                self.cursors[fli] = None;
+            }
         }
         self.release_pages(block.base().page(), block.npages());
     }
@@ -1432,6 +1642,9 @@ impl Heap {
         for page in std::mem::take(&mut self.quarantined) {
             self.release_pages(PageIdx::new(page), 1);
         }
+        // The placement predicate (the blacklist) may relent now; the
+        // rejected-prefix cursor is only sound within one collection epoch.
+        self.quarantine_scan = 0;
     }
 
     /// Pages currently parked in the quarantine.
@@ -1439,8 +1652,39 @@ impl Heap {
         self.quarantined.len() as u32
     }
 
-    /// Aggregate statistics.
+    /// Aggregate statistics. Constant-time: every field is maintained
+    /// incrementally (the free-run total and length multiset move on
+    /// carve/coalesce, the block count on block creation/release), so the
+    /// allocation hot path may consult this without walking runs or
+    /// blocks. [`Heap::recomputed_stats`] is the from-scratch cross-check.
     pub fn stats(&self) -> HeapStats {
+        HeapStats {
+            mapped_pages: self.mapped_pages,
+            free_pages: self.free_run_pages + self.quarantined.len() as u32,
+            largest_free_run: self.run_lengths.last_key_value().map_or(0, |(&len, _)| len),
+            bytes_live: self.bytes_live,
+            bytes_allocated_total: self.bytes_allocated_total,
+            bytes_since_collect: self.bytes_since_collect,
+            blocks: self.block_count,
+        }
+    }
+
+    /// Pages currently mapped as heap — the narrow O(1) accessor for the
+    /// allocation hot path's growth check.
+    pub fn mapped_pages(&self) -> u32 {
+        self.mapped_pages
+    }
+
+    /// Bytes allocated since the last collection — the narrow O(1)
+    /// accessor for the collection-trigger check.
+    pub fn bytes_since_collect(&self) -> u64 {
+        self.bytes_since_collect
+    }
+
+    /// [`Heap::stats`] recomputed from scratch by walking the free runs
+    /// and blocks — the validation oracle for the incremental counters
+    /// (the heap proptests assert both agree after arbitrary traces).
+    pub fn recomputed_stats(&self) -> HeapStats {
         HeapStats {
             mapped_pages: self.mapped_pages,
             free_pages: self.free_runs.values().sum::<u32>() + self.quarantined.len() as u32,

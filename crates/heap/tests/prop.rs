@@ -267,6 +267,151 @@ proptest! {
         prop_assert_eq!(eager_sizes, lazy_sizes);
     }
 
+    /// `Heap::stats()` answers from incrementally maintained counters;
+    /// this pins them to the from-scratch recomputation
+    /// ([`Heap::recomputed_stats`]) after every step of a randomized
+    /// alloc/free/sweep trace — eager and lazy, both free-list policies,
+    /// with and without the bump-cursor fast path.
+    #[test]
+    fn incremental_stats_match_recomputation(
+        ops in proptest::collection::vec(arb_op(), 1..120),
+        lifo: bool,
+        lazy: bool,
+        bump: bool,
+    ) {
+        let policy = if lifo { FreeListPolicy::Lifo } else { FreeListPolicy::AddressOrdered };
+        let mut space = AddressSpace::new(Endian::Big);
+        let mut heap = Heap::new(HeapConfig {
+            heap_base: Addr::new(0x10_0000),
+            max_heap_bytes: 64 << 20,
+            growth_pages: 16,
+            freelist_policy: policy,
+            bump_alloc: bump,
+            sweep_budget: 2,
+        });
+        let mut live: Vec<Addr> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Alloc { bytes, atomic } => {
+                    let kind = if atomic { ObjectKind::Atomic } else { ObjectKind::Composite };
+                    let addr = heap.alloc(&mut space, bytes, kind, &mut accept_all).unwrap();
+                    live.push(addr);
+                }
+                Op::FreeIdx(i) => {
+                    if !live.is_empty() {
+                        let addr = live.swap_remove(i % live.len());
+                        heap.free_object(addr).unwrap();
+                    }
+                }
+                Op::SweepNothingMarked => {
+                    heap.clear_marks();
+                    for &a in &live {
+                        let obj = heap.object_containing(a).expect("tracked object is live");
+                        heap.set_marked(obj);
+                    }
+                    if lazy { heap.sweep_lazy(); } else { heap.sweep(); }
+                }
+            }
+            prop_assert_eq!(heap.stats(), heap.recomputed_stats());
+        }
+        heap.finish_sweep();
+        prop_assert_eq!(heap.stats(), heap.recomputed_stats());
+    }
+
+    /// The bump-cursor fast path is *address-identical* to the old
+    /// prepopulated-free-list path: the same trace run on a `bump_alloc`
+    /// and a non-`bump_alloc` heap returns the same address for every
+    /// allocation — in eager mode and at every lazy sweep budget 1..=4,
+    /// with partial drains leaving cursors and pending blocks active —
+    /// so every liveness view (`live_objects`, `object_containing`,
+    /// censuses) coincides exactly.
+    #[test]
+    fn bump_cursor_is_address_identical_to_prepopulated(
+        rounds in proptest::collection::vec(
+            (
+                proptest::collection::vec((1u32..4000, any::<bool>()), 1..60),
+                any::<u64>(),
+            ),
+            1..4,
+        ),
+        drain in 0usize..8,
+        budget in 1u32..5,
+        lazy: bool,
+    ) {
+        let build = |bump_alloc| {
+            let space = AddressSpace::new(Endian::Big);
+            let heap = Heap::new(HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                max_heap_bytes: 64 << 20,
+                growth_pages: 16,
+                sweep_budget: budget,
+                bump_alloc,
+                ..HeapConfig::default()
+            });
+            (space, heap)
+        };
+        let (mut bs, mut bumpy) = build(true);
+        let (mut ps, mut plain) = build(false);
+        let mut live: Vec<Addr> = Vec::new();
+        for (allocs, mark_seed) in rounds {
+            for (bytes, atomic) in allocs {
+                let kind = if atomic { ObjectKind::Atomic } else { ObjectKind::Composite };
+                let b = bumpy.alloc(&mut bs, bytes, kind, &mut accept_all).unwrap();
+                let p = plain.alloc(&mut ps, bytes, kind, &mut accept_all).unwrap();
+                prop_assert_eq!(b, p, "allocation order diverged");
+                live.push(b);
+            }
+            bumpy.clear_marks();
+            plain.clear_marks();
+            let survives = |i: usize| {
+                ((i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ mark_seed)
+                    .count_ones()
+                    .is_multiple_of(2)
+            };
+            let mut survivors = Vec::new();
+            for (i, &a) in live.iter().enumerate() {
+                if survives(i) {
+                    let bo = bumpy.object_containing(a).expect("tracked object");
+                    bumpy.set_marked(bo);
+                    let po = plain.object_containing(a).expect("tracked object");
+                    plain.set_marked(po);
+                    survivors.push(a);
+                }
+            }
+            if lazy {
+                bumpy.sweep_lazy();
+                plain.sweep_lazy();
+            } else {
+                bumpy.sweep();
+                plain.sweep();
+            }
+            live = survivors;
+            // Partial drain through the slow path: cursors and pending
+            // blocks are both in play while these land.
+            for _ in 0..drain {
+                let b = bumpy.alloc(&mut bs, 16, ObjectKind::Composite, &mut accept_all).unwrap();
+                let p = plain.alloc(&mut ps, 16, ObjectKind::Composite, &mut accept_all).unwrap();
+                prop_assert_eq!(b, p, "post-sweep allocation order diverged");
+                live.push(b);
+            }
+            // Identical addresses ⇒ the views must agree exactly.
+            let bl: Vec<(u32, u32)> = bumpy.live_objects().map(|o| (o.base.raw(), o.bytes)).collect();
+            let pl: Vec<(u32, u32)> = plain.live_objects().map(|o| (o.base.raw(), o.bytes)).collect();
+            prop_assert_eq!(bl, pl, "live object walks diverged");
+            for &a in &live {
+                prop_assert_eq!(
+                    bumpy.object_containing(a).map(|o| o.base),
+                    plain.object_containing(a).map(|o| o.base)
+                );
+            }
+            prop_assert_eq!(bumpy.generation_census(), plain.generation_census());
+            check_lazy_census_consistency(&bumpy);
+        }
+        bumpy.finish_sweep();
+        plain.finish_sweep();
+        prop_assert_eq!(bumpy.stats(), plain.stats(), "settled accounting diverged");
+    }
+
     /// free + realloc round trips: the explicit heap recycles without
     /// leaking or corrupting accounting.
     #[test]

@@ -1,0 +1,199 @@
+//! Differential harness for the allocation fast path: runs with
+//! `bump_alloc = true` (bump-cursor blocks, zero-once pages, O(1) stats on
+//! the hot path) and `bump_alloc = false` (the old prepopulated-free-list
+//! shapes) over identical workloads must be *observationally identical* —
+//! same collection counts, same triggers, same sorted live-address
+//! fingerprints, same Table-1 retention.
+//!
+//! The fast path is designed to be address-identical, not merely
+//! equivalent: the recycled free list merged with the bump cursor
+//! reproduces the address-ordered pop order bit for bit. So every
+//! comparison here is exact equality across the whole matrix of sweep
+//! strategy (eager × lazy) and mark parallelism (1 × 4 threads).
+
+use rand::rngs::SmallRng;
+use rand::{RngExt, SeedableRng};
+use sec_gc::analysis::table1;
+use sec_gc::core::{observer, CollectReason, GcConfig, GcEvent, GcObserver};
+use sec_gc::heap::{HeapConfig, ObjectKind};
+use sec_gc::machine::{Machine, MachineConfig};
+use sec_gc::platforms::{BuildOptions, Platform, Profile};
+use sec_gc::vmspace::{Addr, Endian};
+
+const ROOT_SLOTS: u32 = 12;
+
+/// Records why and in what order every collection began — automatic
+/// triggers fire inside `alloc`, so an observer is the only way to see
+/// them per cycle.
+#[derive(Debug, Default)]
+struct Triggers(Vec<(u64, String)>);
+
+impl GcObserver for Triggers {
+    fn on_event(&mut self, event: &GcEvent) {
+        if let GcEvent::CollectionBegin { gc_no, reason, .. } = event {
+            self.0.push((*gc_no, reason.to_string()));
+        }
+    }
+}
+
+/// Everything observable about one run that must not depend on the
+/// allocation path. Durations are deliberately excluded — time is the only
+/// thing allowed to differ.
+#[derive(Debug, PartialEq, Eq)]
+struct RunFingerprint {
+    collections: u64,
+    triggers: Vec<(u64, String)>,
+    /// Sorted base addresses of the live heap at each checkpoint.
+    checkpoints: Vec<Vec<u32>>,
+    bytes_live: u64,
+    bytes_allocated_total: u64,
+    blacklist_pages: u32,
+    false_refs: u64,
+}
+
+fn live_addresses(m: &Machine) -> Vec<u32> {
+    let mut v: Vec<u32> = m.gc().heap().live_objects().map(|o| o.base.raw()).collect();
+    v.sort_unstable();
+    v
+}
+
+/// A deterministic randomized mutator with *automatic* collection
+/// triggering: the threshold is low enough that collections fire from the
+/// allocation path itself, so trigger timing (and hence every downstream
+/// observable) would expose any behavioral drift in the fast path.
+fn run_trace(seed: u64, bump_alloc: bool, lazy_sweep: bool, mark_threads: u32) -> RunFingerprint {
+    let triggers = observer(Triggers::default());
+    let handle = triggers.clone();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut m = Machine::new(MachineConfig {
+        endian: Endian::Big,
+        gc: GcConfig {
+            heap: HeapConfig {
+                heap_base: Addr::new(0x10_0000),
+                max_heap_bytes: 16 << 20,
+                growth_pages: 16,
+                bump_alloc,
+                ..HeapConfig::default()
+            },
+            blacklisting: true,
+            lazy_sweep,
+            mark_threads,
+            min_bytes_between_gcs: 16 << 10,
+            free_space_divisor: 4,
+            observer: Some(handle),
+            ..GcConfig::default()
+        },
+        seed,
+        ..MachineConfig::default()
+    });
+    m.add_static_segment(Addr::new(0x2_0000), 4096);
+    let roots = m.alloc_static(ROOT_SLOTS);
+    let junk = m.alloc_static(8);
+    for i in 0..8u32 {
+        m.store(junk + i * 4, 0x10_0000 + rng.random_range(0..2u32 << 20));
+    }
+
+    let mut checkpoints = Vec::new();
+    for step in 0..2400u32 {
+        match rng.random_range(0..100u32) {
+            0..=69 => {
+                let bytes = *[12u32, 16, 24, 48, 256]
+                    .get(rng.random_range(0..5) as usize)
+                    .unwrap();
+                let kind = if rng.random_range(0..4u32) == 0 {
+                    ObjectKind::Atomic
+                } else {
+                    ObjectKind::Composite
+                };
+                let obj = m.alloc(bytes, kind).expect("heap has room");
+                if rng.random_range(0..3u32) > 0 {
+                    m.store(roots + rng.random_range(0..ROOT_SLOTS) * 4, obj.raw());
+                }
+            }
+            70..=89 => {
+                m.store(roots + rng.random_range(0..ROOT_SLOTS) * 4, 0);
+            }
+            _ => {
+                let near = (0x10_0000 + rng.random_range(0..4u32 << 20)) | 1;
+                m.store(junk + (rng.random_range(0..8u32)) * 4, near);
+            }
+        }
+        if step % 400 == 399 {
+            checkpoints.push(live_addresses(&m));
+        }
+    }
+    let stats = m.collect();
+    checkpoints.push(live_addresses(&m));
+    let heap = m.gc().heap().stats();
+    let trigger_log = triggers.lock().expect("trigger log").0.clone();
+    RunFingerprint {
+        collections: m.gc().stats().collections,
+        triggers: trigger_log,
+        checkpoints,
+        bytes_live: heap.bytes_live,
+        bytes_allocated_total: heap.bytes_allocated_total,
+        blacklist_pages: stats.blacklist_pages,
+        false_refs: m.gc().stats().total_false_refs,
+    }
+}
+
+#[test]
+fn fast_path_is_invariant_across_sweep_and_mark_matrix() {
+    for seed in [3u64, 41] {
+        for lazy_sweep in [false, true] {
+            for mark_threads in [1u32, 4] {
+                let fast = run_trace(seed, true, lazy_sweep, mark_threads);
+                assert!(
+                    fast.collections > 4,
+                    "trace collected often enough to compare (got {})",
+                    fast.collections
+                );
+                assert!(
+                    fast.triggers
+                        .iter()
+                        .any(|(_, r)| r == &CollectReason::Automatic.to_string()),
+                    "allocation-triggered collections occurred"
+                );
+                let slow = run_trace(seed, false, lazy_sweep, mark_threads);
+                assert_eq!(
+                    fast, slow,
+                    "seed {seed}, lazy_sweep {lazy_sweep}, mark_threads {mark_threads}: \
+                     bump-cursor allocation diverged from the prepopulated path"
+                );
+            }
+        }
+    }
+}
+
+fn table1_run(profile: &Profile, bump_alloc: bool) -> sec_gc::workloads::ProgramTReport {
+    let shape = table1::shape_for(profile, 25);
+    let mut platform = profile.build_custom(
+        BuildOptions {
+            seed: 11,
+            blacklisting: true,
+            ..BuildOptions::default()
+        },
+        |gc| gc.heap.bump_alloc = bump_alloc,
+    );
+    let Platform { machine, hooks, .. } = &mut platform;
+    shape.run(machine, &mut |m| hooks.tick(m))
+}
+
+#[test]
+fn table1_retention_is_alloc_path_invariant() {
+    // The paper's headline metric reproduces bit-identically on the fast
+    // path: same retained lists, same per-list fate, same collection count.
+    let profile = Profile::sparc_static(false);
+    let fast = table1_run(&profile, true);
+    let slow = table1_run(&profile, false);
+    assert_eq!(fast.lists, slow.lists);
+    assert_eq!(
+        fast.retained, slow.retained,
+        "retention must not depend on the allocation path"
+    );
+    assert_eq!(fast.reclaimed, slow.reclaimed, "same per-list fate");
+    assert_eq!(fast.collections, slow.collections);
+    assert_eq!(fast.blacklist_pages, slow.blacklist_pages);
+    assert_eq!(fast.representatives, slow.representatives);
+    assert_eq!(fast.bytes_live, slow.bytes_live);
+}
